@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of Figure 10 (normalized per-level misses)."""
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, bench_config, report_sink):
+    report = benchmark.pedantic(
+        figure10.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    report_sink(report)
+    s = report.summary
+    # Paper shape: inter reduces misses at every level; intra's effect on
+    # the shared levels is far smaller than inter's.
+    assert s["inter_L1"] < 1.0
+    assert s["inter_L2"] < 1.0
+    assert s["inter_L3"] < 1.0
+    assert s["inter_L2"] < s["intra_L2"]
+    assert s["inter_L3"] < s["intra_L3"]

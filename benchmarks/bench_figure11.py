@@ -1,0 +1,22 @@
+"""Benchmark + regeneration of Figure 11 (normalized I/O and exec time)."""
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, bench_config, report_sink):
+    report = benchmark.pedantic(
+        figure11.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    report_sink(report)
+    s = report.summary
+    # Paper: inter -26.3% io / -18.9% exec; intra -6.8% / -3.5%.
+    assert s["inter_io_latency_improvement"] > 0.10
+    assert s["inter_execution_time_improvement"] > 0.08
+    assert (
+        s["inter_io_latency_improvement"] > s["intra_io_latency_improvement"]
+    )
+    # I/O gains exceed end-to-end gains (compute dilutes them).
+    assert (
+        s["inter_io_latency_improvement"]
+        >= s["inter_execution_time_improvement"]
+    )

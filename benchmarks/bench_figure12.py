@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Figure 12 (topology sensitivity)."""
+
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark, small_config, report_sink):
+    report = benchmark.pedantic(
+        figure12.run, args=(small_config,), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert len(report.rows) == len(figure12.TOPOLOGIES)
+    # Paper's w/x trend for the scheduled scheme: deeper client fan-in
+    # (16,4,4) at least matches the default (16,8,4).
+    s = report.summary
+    assert s["inter+sched_io_16_4_4"] <= s["inter+sched_io_16_8_4"] + 0.02

@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Figure 13 (cache-capacity sensitivity)."""
+
+from repro.experiments import figure13
+
+
+def test_figure13(benchmark, small_config, report_sink):
+    report = benchmark.pedantic(
+        figure13.run, args=(small_config,), rounds=1, iterations=1
+    )
+    report_sink(report)
+    s = report.summary
+    # Paper shape (scheduled scheme): halving capacities boosts savings,
+    # growing them shrinks savings.
+    assert s["inter+sched_io_0.5_0.5_0.5"] <= s["inter+sched_io_1_1_1"] + 0.02
+    assert s["inter+sched_io_1_1_1"] <= s["inter+sched_io_4_4_4"] + 0.02

@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Figure 14 (data-chunk-size sensitivity)."""
+
+from repro.experiments import figure14
+
+
+def test_figure14(benchmark, small_config, report_sink):
+    report = benchmark.pedantic(
+        figure14.run, args=(small_config,), rounds=1, iterations=1
+    )
+    report_sink(report)
+    s = report.summary
+    # Paper: smaller chunks improve savings monotonically...
+    assert s["io_16"] < s["io_64"] < s["io_128"]
+    # ...at the price of compilation (mapping) time.
+    assert s["mapping_s_16"] > s["mapping_s_64"]

@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Figure 18 (scheduling enhancement)."""
+
+from repro.experiments import figure18
+
+
+def test_figure18(benchmark, bench_config, report_sink):
+    report = benchmark.pedantic(
+        figure18.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    report_sink(report)
+    s = report.summary
+    # Paper: scheduling cuts L1 misses (27.8% avg) and lifts io/exec gains.
+    assert s["sched_L1_misses"] < 0.95
+    assert s["sched_io"] < 1.0
+    assert s["sched_io"] <= s["unsched_io"] + 0.03

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Table 2 (original-version miss rates)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, bench_config, report_sink):
+    report = benchmark.pedantic(
+        table2.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    report_sink(report)
+    assert len(report.rows) == 8
+    # The paper's qualitative claim: miss rates degrade with depth for
+    # most applications.
+    assert report.summary["apps_with_deeper_degradation"] >= 5

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures and result reporting.
+
+Every figure/table benchmark regenerates its experiment (at a reduced
+topology with the paper's fan-in ratios), prints the same rows the paper
+reports, and saves the rendered table under ``benchmarks/output/``.
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import scaled_config
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Quarter-scale topology: 16 clients / 8 I/O nodes / 4 storage nodes."""
+    return scaled_config(4)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """Eighth-scale topology for the heavier sweeps."""
+    return scaled_config(8)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def sink(report) -> None:
+        text = report.render()
+        print("\n" + text)
+        slug = report.experiment_id.lower().replace(" ", "").replace("§", "s")
+        (OUTPUT_DIR / f"{slug}.txt").write_text(text + "\n")
+
+    return sink

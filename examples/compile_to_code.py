@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compile a nest to restructured per-client code (the paper's artifact).
+
+The paper's scheme is a compiler pass: its real output is *source code*
+— one loop-fragment sequence per client node, enumerating the client's
+iteration chunks in schedule order, with synchronisation directives
+inserted where dependences cross clients.  This example compiles the
+Fig. 6 fragment and a dependent recurrence and prints both programs.
+
+Run:  python examples/compile_to_code.py
+"""
+
+from repro.compiler import compile_nest
+from repro.core.mapper import InterProcessorMapper
+from repro.experiments.config import scaled_config
+from repro.experiments.discussion import dependent_nest
+from repro.workloads.paper_example import figure6_workload, figure7_hierarchy
+
+
+def main() -> None:
+    print("=== Fig. 6 fragment, compiled for the Fig. 7 hierarchy ===\n")
+    nest, data_space = figure6_workload(d=16)
+    program = compile_nest(nest, data_space, figure7_hierarchy())
+    print(program.listing())
+    print(
+        f"\n(compiled {nest.num_iterations} iterations onto "
+        f"{program.num_clients} clients in {program.compile_time_s * 1e3:.0f} ms)\n"
+    )
+
+    print("=== A recurrence with carried dependences (sync insertion) ===\n")
+    config = scaled_config(16)  # 4 clients
+    rec_nest, rec_ds = dependent_nest(config)
+    rec_program = compile_nest(
+        rec_nest,
+        rec_ds,
+        config.build_hierarchy(),
+        mapper=InterProcessorMapper(dependence_strategy="sync"),
+    )
+    # The full listing is long; show one client plus the sync summary.
+    first = sorted(rec_program.client_code)[0]
+    listing = rec_program.client_code[first]
+    head = "\n".join(listing.splitlines()[:12])
+    print(f"// ===== client node {first} (first 12 lines) =====")
+    print(head)
+    print(
+        f"\ntotal wait_for(...) directives inserted: "
+        f"{rec_program.total_sync_directives()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

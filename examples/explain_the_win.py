@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Where does the Inter-processor mapping's win come from?
+
+Uses the analysis package to attribute one workload's improvement to
+the classic miss sources:
+
+* compulsory — per-client footprints (the mapping co-locates sharers,
+  so each client requests fewer distinct chunks);
+* capacity — Mattson reuse-distance profiles of the request streams
+  (the schedule moves revisits inside the private-cache window);
+* sharing — the sharing matrix split by cache affinity (the paper's
+  two rules: sharing belongs below shared caches).
+
+Run:  python examples/explain_the_win.py [workload]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.footprint import mapping_footprints
+from repro.analysis.reuse import reuse_distance_profile
+from repro.analysis.sharing import mapping_affinity_quality, sharing_matrix
+from repro.experiments.config import scaled_config
+from repro.simulator.runner import make_mapper, run_experiment
+from repro.simulator.streams import build_client_streams
+from repro.util.rng import derive_seed, make_rng
+from repro.util.tables import format_table
+from repro.workloads.base import WorkloadParams
+from repro.workloads.suite import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "wupwise"
+    config = scaled_config(8)
+    workload = get_workload(name)
+    params = WorkloadParams(
+        chunk_elems=config.chunk_elems, data_chunks=config.data_chunks
+    )
+    nest, data_space = workload.build(params)
+    l1 = config.capacity_chunks(0)
+
+    rows = []
+    for version in ("original", "inter", "inter+sched"):
+        hierarchy = config.build_hierarchy()
+        mapper = make_mapper(version, config)
+        rng = make_rng(derive_seed(config.seed, name, version))
+        mapping = mapper.map(nest, data_space, hierarchy, rng)
+
+        footprints = mapping_footprints(mapping, nest, data_space)
+        streams = build_client_streams(mapping, nest, data_space)
+        profiles = [
+            reuse_distance_profile(s) for s in streams.values() if len(s)
+        ]
+        mean_l1_hit = float(np.mean([p.hit_rate(l1) for p in profiles]))
+        quality = mapping_affinity_quality(mapping, nest, data_space, hierarchy)
+        measured = run_experiment(workload, config, version)
+
+        rows.append(
+            [
+                version,
+                sum(footprints.values()),
+                f"{mean_l1_hit:.2f}",
+                f"{quality.ratio:.2f}",
+                f"{measured.io_latency_ms:.0f}",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "version",
+                "total footprint (compulsory)",
+                f"mean Mattson L1 hit rate (C={l1})",
+                "sibling/stranger sharing ratio",
+                "measured io (ms)",
+            ],
+            rows,
+            title=f"Attribution of the mapping win on '{name}'",
+        )
+    )
+    print(
+        "\nReading: the Inter-processor versions request fewer distinct"
+        "\nchunks per client (compulsory), keep more revisits within the"
+        "\nprivate-cache window (capacity, esp. with scheduling), and move"
+        "\ndata sharing below the shared caches (ratio > original) —"
+        "\ntogether explaining the measured I/O latency drop."
+    )
+
+
+if __name__ == "__main__":
+    main()

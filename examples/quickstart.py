@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: map one loop nest four ways and compare cache behaviour.
+
+Builds the paper's running example (Fig. 6: a multi-stride sweep over a
+12-chunk disk-resident array), maps it onto the Fig. 7 storage cache
+hierarchy (4 clients / 2 I/O nodes / 1 storage node) with each of the
+paper's versions, and simulates the resulting block-request streams.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LatencyModel, figure6_workload, figure7_hierarchy
+from repro.core.baselines import IntraProcessorMapper, OriginalMapper
+from repro.core.mapper import InterProcessorMapper
+from repro.simulator.engine import simulate
+from repro.simulator.streams import build_client_streams
+from repro.storage.filesystem import ParallelFileSystem
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    nest, data_space = figure6_workload(d=64)
+    print(f"workload: {nest}")
+    print(f"data space: {data_space}\n")
+
+    mappers = [
+        OriginalMapper(),
+        IntraProcessorMapper(),
+        InterProcessorMapper(),
+        InterProcessorMapper(schedule=True),
+    ]
+
+    rows = []
+    for mapper in mappers:
+        hierarchy = figure7_hierarchy(capacities=(6, 8, 12))
+        mapping = mapper.map(nest, data_space, hierarchy, make_rng(0))
+        mapping.validate(nest.num_iterations)
+
+        streams = build_client_streams(mapping, nest, data_space)
+        filesystem = ParallelFileSystem(1, chunk_bytes=64 * 1024)
+        result = simulate(
+            streams,
+            hierarchy,
+            filesystem,
+            latency=LatencyModel(),
+            iterations_per_client=mapping.iteration_counts(),
+        )
+        rates = result.miss_rates()
+        rows.append(
+            [
+                mapper.name,
+                f"{rates['L1']:.2f}",
+                f"{rates['L2']:.2f}",
+                f"{rates['L3']:.2f}",
+                result.disk_reads,
+                f"{result.io_latency_ms:.1f}",
+                f"{result.execution_time_ms:.1f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["version", "L1 miss", "L2 miss", "L3 miss", "disk reads", "io (ms)", "exec (ms)"],
+            rows,
+            title="Fig. 6 workload on the Fig. 7 hierarchy",
+        )
+    )
+    print(
+        "\nThe Inter-processor mapping clusters iteration chunks that share"
+        "\ndata chunks onto clients that share a cache, cutting shared-level"
+        "\nmisses and disk reads versus the blocked Original mapping."
+    )
+
+
+if __name__ == "__main__":
+    main()

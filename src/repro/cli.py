@@ -1,0 +1,138 @@
+"""Command-line driver: ``repro <experiment>`` or ``python -m repro``.
+
+Regenerates any of the paper's tables/figures from the shipped harness:
+
+.. code-block:: console
+
+   $ repro table2
+   $ repro figure11
+   $ repro all            # every experiment, in paper order
+   $ repro suite          # raw per-(workload, version) metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import config as config_mod
+from repro.experiments import (
+    discussion,
+    explain,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure18,
+    table2,
+)
+from repro.experiments.harness import run_suite
+from repro.simulator.runner import VERSIONS
+from repro.util.tables import format_table
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "table2": table2.run,
+    "figure10": figure10.run,
+    "figure11": figure11.run,
+    "figure12": figure12.run,
+    "figure13": figure13.run,
+    "figure14": figure14.run,
+    "figure18": figure18.run,
+}
+
+
+def _run_suite_command(args: argparse.Namespace) -> None:
+    config = (
+        config_mod.scaled_config(args.scale) if args.scale else config_mod.DEFAULT_CONFIG
+    )
+    results = run_suite(config)
+    if args.json:
+        from repro.simulator.serialization import save_results_json
+
+        save_results_json(args.json, results)
+        print(f"raw results written to {args.json}", file=sys.stderr)
+    headers = ["application", "version", "L1", "L2", "L3", "io (ms)", "exec (ms)"]
+    rows = []
+    for wname, per_version in results.items():
+        for v in VERSIONS:
+            r = per_version[v]
+            rates = r.sim.miss_rates()
+            rows.append(
+                [
+                    wname,
+                    v,
+                    f"{rates['L1']:.3f}",
+                    f"{rates['L2']:.3f}",
+                    f"{rates['L3']:.3f}",
+                    f"{r.io_latency_ms:.0f}",
+                    f"{r.execution_time_ms:.0f}",
+                ]
+            )
+    print(format_table(headers, rows, title="Suite: raw metrics"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Computation Mapping for Multi-Level "
+            "Storage Cache Hierarchies' (HPDC 2010)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["discussion", "explain", "all", "suite"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--workload",
+        default="hf",
+        help="workload for the 'explain' analysis (default: hf)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=0,
+        help="run at a reduced topology (e.g. 4 => 16 clients); 0 = default",
+    )
+    parser.add_argument(
+        "--json",
+        default="",
+        help="for 'suite': also dump raw results to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    if args.experiment == "suite":
+        _run_suite_command(args)
+    elif args.experiment == "discussion":
+        for report in discussion.run():
+            print(report.render())
+            print()
+    elif args.experiment == "explain":
+        config = (
+            config_mod.scaled_config(args.scale) if args.scale else None
+        )
+        print(explain.run(args.workload, config).render())
+    elif args.experiment == "all":
+        for name in ("table2", "figure10", "figure11", "figure12", "figure13", "figure14", "figure18"):
+            print(EXPERIMENTS[name]().render())
+            print()
+        for report in discussion.run():
+            print(report.render())
+            print()
+    else:
+        config = (
+            config_mod.scaled_config(args.scale) if args.scale else None
+        )
+        print(EXPERIMENTS[args.experiment](config).render())
+    print(f"[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

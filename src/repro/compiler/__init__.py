@@ -1,0 +1,19 @@
+"""The compiler driver: from a loop nest to restructured per-client code.
+
+The paper's contribution ships as a compiler pass (Phoenix, §5.1): its
+output is *restructured source* — for every client node, a sequence of
+loop fragments (generated with Omega's ``codegen``) that enumerates the
+client's iteration chunks in schedule order, with inter-processor
+synchronisation directives inserted where dependences cross clients
+(§5.4).  :func:`compile_nest` produces exactly that artifact.
+"""
+
+from repro.compiler.driver import CompiledProgram, compile_nest
+from repro.compiler.emit import render_reference, render_statement
+
+__all__ = [
+    "CompiledProgram",
+    "compile_nest",
+    "render_reference",
+    "render_statement",
+]

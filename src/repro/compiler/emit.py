@@ -1,0 +1,76 @@
+"""Source rendering of references and loop-body statements.
+
+Turns the polyhedral representation back into readable pseudo-C: an
+:class:`~repro.polyhedral.affine.AffineExpr` becomes ``2*i0 + i1 + 3``
+(with a ``% m`` wrapper when modular), an
+:class:`~repro.polyhedral.references.ArrayRef` becomes
+``A[i0 + 3][i1 - 1]``, and a loop body becomes the assignment statement
+combining the nest's write and read references.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+
+__all__ = ["render_expr", "render_reference", "render_statement"]
+
+
+def render_expr(expr: AffineExpr, names: Sequence[str]) -> str:
+    """Render one affine (possibly modular) subscript expression."""
+    if len(names) != expr.depth:
+        raise ValueError(
+            f"expression has depth {expr.depth}, got {len(names)} names"
+        )
+    terms: list[str] = []
+    for coeff, name in zip(expr.coeffs.tolist(), names):
+        if coeff == 0:
+            continue
+        if coeff == 1:
+            terms.append(name)
+        elif coeff == -1:
+            terms.append(f"-{name}")
+        else:
+            terms.append(f"{coeff}*{name}")
+    if expr.const or not terms:
+        terms.append(str(expr.const))
+    body = " + ".join(terms).replace("+ -", "- ")
+    if expr.modulus is not None:
+        return f"({body}) % {expr.modulus}"
+    return body
+
+
+def render_reference(ref: ArrayRef, names: Sequence[str]) -> str:
+    """Render a reference as ``A[...][...]``."""
+    subs = "".join(f"[{render_expr(e, names)}]" for e in ref.map.exprs)
+    return f"{ref.array_name}{subs}"
+
+
+def render_statement(nest: LoopNest, names: Sequence[str] | None = None) -> str:
+    """Render the nest's loop body as one assignment statement.
+
+    The write references (or the first reference, for read-only nests)
+    form the left-hand side; the reads combine additively — the shape of
+    every kernel in the paper's examples.
+    """
+    names = list(names) if names is not None else [
+        b.name for b in nest.space.bounds
+    ]
+    writes = [r for r in nest.references if r.is_write]
+    reads = [r for r in nest.references if not r.is_write]
+    if not writes:
+        lhs_ref, rhs_refs = nest.references[0], list(nest.references[1:])
+        lhs = f"use({render_reference(lhs_ref, names)})"
+        if not rhs_refs:
+            return lhs + ";"
+        rhs = " + ".join(render_reference(r, names) for r in rhs_refs)
+        return f"{lhs}; touch({rhs});"
+    lhs = " = ".join(render_reference(w, names) for w in writes)
+    if reads:
+        rhs = " + ".join(render_reference(r, names) for r in reads)
+    else:
+        rhs = "compute()"
+    return f"{lhs} = {rhs};"

@@ -1,0 +1,219 @@
+"""Load balancing of iteration-chunk clusters (Fig. 5, Stage 2).
+
+Greedy eviction from over-full to under-full clusters:
+
+* limits: ``ULim = mean + BThres`` and ``LLim = mean - BThres`` where
+  ``BThres`` is the balance threshold expressed in iterations;
+* while some cluster exceeds ``ULim``, iteration chunks are evicted from
+  the largest cluster into the smallest, choosing chunks by descending
+  dot product of their tag with the recipient's *support* (the distinct
+  chunks it touches) — move the work where its data already is, the
+  paper's greedy criterion;
+* an eviction never drops the donor below ``LLim``; a recipient is
+  filled to the mean and then the next-smallest takes over;
+* when no whole chunk fits, a chunk is split so the moved piece fits
+  (the paper: "An iteration chunk is split according to the balance
+  threshold requirements prior to the eviction process if no eligible
+  iteration chunk is found").
+
+The paper's pseudo-code only evicts into clusters below ``LLim``, which
+deadlocks when one donor is grossly over-full and everybody else sits
+between the limits (a routine outcome of the snowballing greedy merge);
+we instead fill the *smallest* cluster — same greedy intent, guaranteed
+progress.
+
+Chunk-tag dot products are computed in bulk against a cached
+``(pool, r)`` tag matrix, one BLAS matvec per donor/recipient pairing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.chunking import IterationChunk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.clustering import Cluster
+
+__all__ = ["balance_clusters", "imbalance", "TagMatrix"]
+
+
+def imbalance(sizes: list[int]) -> float:
+    """Max relative deviation from the mean iteration count."""
+    if not sizes:
+        return 0.0
+    mean = sum(sizes) / len(sizes)
+    if mean == 0:
+        return 0.0
+    return max(abs(s - mean) for s in sizes) / mean
+
+
+class TagMatrix:
+    """A growable dense ``(len(pool), r)`` matrix of chunk tag vectors.
+
+    Kept in sync with the chunk pool so eviction scoring is one
+    fancy-indexed matmul instead of per-chunk Python loops.
+    """
+
+    def __init__(self, pool: list[IterationChunk], r: int):
+        self.r = r
+        self._rows = np.zeros((max(len(pool), 16), r), dtype=np.float64)
+        self._n = 0
+        for chunk in pool:
+            self.append(chunk)
+
+    def append(self, chunk: IterationChunk) -> None:
+        if self._n == len(self._rows):
+            grown = np.zeros((2 * len(self._rows), self.r), dtype=np.float64)
+            grown[: self._n] = self._rows[: self._n]
+            self._rows = grown
+        row = self._rows[self._n]
+        for c in chunk.tag.chunks:
+            row[c] = 1.0
+        self._n += 1
+
+    def row(self, index: int) -> np.ndarray:
+        if not 0 <= index < self._n:
+            raise IndexError(f"tag row {index} out of range")
+        return self._rows[index]
+
+    def dots(self, members: list[int], signature: np.ndarray) -> np.ndarray:
+        """Dot product of each member's tag with a cluster signature."""
+        idx = np.asarray(members, dtype=np.int64)
+        return self._rows[idx] @ signature
+
+    def __len__(self) -> int:
+        return self._n
+
+
+def balance_clusters(
+    clusters: "list[Cluster]",
+    pool: list[IterationChunk],
+    balance_threshold: float,
+    r: int,
+    tags: TagMatrix | None = None,
+) -> None:
+    """Balance cluster iteration counts in place (Fig. 5, Stage 2)."""
+    k = len(clusters)
+    if k < 2:
+        return
+    tags = tags if tags is not None else TagMatrix(pool, r)
+    if len(tags) != len(pool):
+        raise ValueError("tag matrix out of sync with pool")
+    total = sum(c.size for c in clusters)
+    mean = total / k
+    bthres = balance_threshold * mean
+    ulim = mean + bthres
+    llim = mean - bthres
+
+    # Every donor pass strictly shrinks the largest cluster or stops, so
+    # the cap is a safety net only.
+    for _ in range(8 * (len(pool) + k) + 16):
+        donor = max(clusters, key=lambda c: c.size)
+        if donor.size <= ulim:
+            return
+        recipient = min(clusters, key=lambda c: c.size)
+        if recipient is donor:
+            return
+        moved = _drain(donor, recipient, pool, tags, llim, ulim, mean)
+        if not moved and not _split_and_evict(
+            donor, recipient, pool, tags, llim, ulim
+        ):
+            return  # no legal move exists (chunk granularity limit)
+
+
+def _drain(
+    donor: "Cluster",
+    recipient: "Cluster",
+    pool: list[IterationChunk],
+    tags: TagMatrix,
+    llim: float,
+    ulim: float,
+    mean: float,
+) -> bool:
+    """Move best-affinity chunks donor -> recipient until one side is done.
+
+    The recipient is filled to the mean (not ULim) so the donor's excess
+    spreads over several recipients instead of ping-ponging.
+    """
+    if len(donor.members) < 2:
+        return False
+    support = (recipient.signature > 0).astype(np.float64)
+    order = np.argsort(-tags.dots(donor.members, support), kind="stable")
+    candidates = [donor.members[i] for i in order]
+    moved_any = False
+    for m in candidates:
+        if donor.size <= ulim or recipient.size >= mean:
+            break
+        s = pool[m].size
+        if len(donor.members) < 2:
+            break
+        if donor.size - s < llim or recipient.size + s > ulim:
+            continue
+        _move(m, donor, recipient, pool, tags)
+        moved_any = True
+    return moved_any
+
+
+def _split_and_evict(
+    donor: "Cluster",
+    recipient: "Cluster",
+    pool: list[IterationChunk],
+    tags: TagMatrix,
+    llim: float,
+    ulim: float,
+) -> bool:
+    """Split a donor chunk so the moved piece keeps both sides in limits."""
+    # The piece size s must satisfy: donor.size - s >= llim  and
+    # recipient.size + s <= ulim  and 1 <= s < chunk.size.
+    s_max = min(donor.size - llim, ulim - recipient.size)
+    piece = int(math.floor(s_max))
+    if piece < 1:
+        return False
+    support = (recipient.signature > 0).astype(np.float64)
+    dots = tags.dots(donor.members, support)
+    order = np.argsort(-dots, kind="stable")
+    best_m = None
+    for i in order:
+        m = donor.members[int(i)]
+        if pool[m].size > piece:
+            best_m = m
+            break
+    if best_m is None:
+        # Largest chunk too small to split that big a piece off — shrink
+        # the piece to (largest - 1) so a split is still possible.
+        best_m = max(donor.members, key=lambda m: pool[m].size)
+        if pool[best_m].size < 2:
+            return False
+        piece = pool[best_m].size - 1
+        if donor.size - piece < llim or recipient.size + piece > ulim:
+            return False
+    keep, move = pool[best_m].split(pool[best_m].size - piece)
+    pool[best_m] = keep
+    pool.append(move)
+    tags.append(move)
+    moved_idx = len(pool) - 1
+    # The donor momentarily holds both pieces (same tag counted twice).
+    donor.members.append(moved_idx)
+    donor.signature += tags.row(moved_idx)
+    _move(moved_idx, donor, recipient, pool, tags)
+    return True
+
+
+def _move(
+    m: int,
+    donor: "Cluster",
+    recipient: "Cluster",
+    pool: list[IterationChunk],
+    tags: TagMatrix,
+) -> None:
+    donor.members.remove(m)
+    v = tags.row(m)
+    donor.signature -= v
+    donor.size -= pool[m].size
+    recipient.members.append(m)
+    recipient.signature += v
+    recipient.size += pool[m].size

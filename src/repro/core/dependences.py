@@ -1,0 +1,133 @@
+"""Dependence handling for the mapping (paper §5.4).
+
+Two extension strategies when the parallel iterations carry
+dependences:
+
+* ``FUSE`` — "associating an infinite edge weight between iteration
+  chunks that have dependencies between them": dependent chunks always
+  cluster together, so no inter-client synchronisation is needed (but
+  parallelism may suffer);
+* ``SYNC`` — "treat loop carried dependencies … as normal data block
+  sharing" (the tags already capture it, since dependent iterations
+  touch the same elements hence the same data chunks) "and corresponding
+  inter-core synchronization directives can be inserted" — the paper's
+  implemented alternative.  :func:`count_cross_client_syncs` computes
+  how many dependence edges cross clients under a mapping; the simulator
+  charges a stall per crossing.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.core.chunking import IterationChunkSet
+from repro.core.graph import AffinityGraph
+from repro.core.mapping import Mapping
+from repro.polyhedral.dependence import find_dependences
+from repro.polyhedral.nest import LoopNest
+
+__all__ = [
+    "DependenceStrategy",
+    "apply_dependence_strategy",
+    "dependent_chunk_pairs",
+    "count_cross_client_syncs",
+]
+
+
+class DependenceStrategy(str, Enum):
+    NONE = "none"
+    FUSE = "fuse"
+    SYNC = "sync"
+
+
+def _group_of_iteration(chunk_set: IterationChunkSet) -> np.ndarray:
+    """rank -> iteration-chunk index, for the original (unsplit) pool."""
+    n = chunk_set.nest.num_iterations
+    group = np.full(n, -1, dtype=np.int64)
+    for gi, chunk in enumerate(chunk_set.chunks):
+        group[chunk.iterations] = gi
+    if (group < 0).any():
+        raise ValueError("chunk set does not cover the nest")
+    return group
+
+
+def _dependence_rank_pairs(nest: LoopNest) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per uniform dependence: (source ranks, sink ranks) vectors.
+
+    A dependence with distance Δ relates each iteration σ to σ + Δ when
+    both lie in the space.  Non-uniform (unknown-distance) dependences
+    are skipped — the caller must serialise those nests.
+    """
+    out = []
+    space = nest.space
+    iterations = nest.iterations()
+    for dep in find_dependences(nest):
+        if dep.distance is None:
+            continue
+        delta = np.asarray(dep.distance, dtype=np.int64)
+        if not delta.any():
+            continue  # loop-independent: same iteration, no sync needed
+        shifted = iterations + delta
+        inside = space.contains(shifted)
+        if not inside.any():
+            continue
+        src = space.linearize(iterations[inside])
+        dst = space.linearize(shifted[inside])
+        out.append((src, dst))
+    return out
+
+
+def dependent_chunk_pairs(
+    chunk_set: IterationChunkSet, nest: LoopNest
+) -> set[tuple[int, int]]:
+    """Iteration-chunk index pairs connected by a carried dependence."""
+    group = _group_of_iteration(chunk_set)
+    pairs: set[tuple[int, int]] = set()
+    for src, dst in _dependence_rank_pairs(nest):
+        gs, gd = group[src], group[dst]
+        cross = gs != gd
+        if not cross.any():
+            continue
+        uniq = np.unique(np.stack([gs[cross], gd[cross]], axis=1), axis=0)
+        for a, b in uniq:
+            pairs.add((int(min(a, b)), int(max(a, b))))
+    return pairs
+
+
+def apply_dependence_strategy(
+    graph: AffinityGraph,
+    chunk_set: IterationChunkSet,
+    nest: LoopNest,
+    strategy: DependenceStrategy,
+) -> None:
+    """Mutate the affinity graph per the chosen strategy.
+
+    ``SYNC`` needs no graph change — dependent iterations touch the same
+    data chunks, so the sharing already shows up in the edge weights;
+    synchronisation cost is accounted by the simulator.
+    """
+    if strategy != DependenceStrategy.FUSE:
+        return
+    for a, b in dependent_chunk_pairs(chunk_set, nest):
+        graph.force_together(a, b)
+
+
+def count_cross_client_syncs(mapping: Mapping, nest: LoopNest) -> dict[int, int]:
+    """Per-client count of dependence edges arriving from another client.
+
+    Each such edge forces one inter-processor synchronisation on the
+    *consuming* client (the paper inserts directives at the local
+    scheduling step).  Returns ``{client: incoming_sync_count}``.
+    """
+    owner = mapping.client_of_iteration(nest.num_iterations)
+    counts: dict[int, int] = {c: 0 for c in mapping.client_order}
+    for src, dst in _dependence_rank_pairs(nest):
+        cross = owner[src] != owner[dst]
+        if not cross.any():
+            continue
+        consumers, per = np.unique(owner[dst][cross], return_counts=True)
+        for c, k in zip(consumers, per):
+            counts[int(c)] += int(k)
+    return counts

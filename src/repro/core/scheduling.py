@@ -1,0 +1,157 @@
+"""Cache-hierarchy-conscious iteration-chunk scheduling (paper Fig. 15).
+
+After distribution, the iteration chunks assigned to each client are
+*ordered*.  Reuse has two dimensions (§5.4):
+
+* **vertical** (weight β): the next chunk on a client should share data
+  with the chunk just scheduled on the same client (private-cache reuse);
+* **horizontal** (weight α): chunks scheduled in the same round on
+  clients that share an I/O-level cache should share data (shared-cache
+  reuse).
+
+Clients are scheduled group-by-group, one group per I/O-level (leaf
+parent) cache, in rounds:
+
+* the first client of a group opens round one with the chunk touching
+  the fewest data chunks;
+* a later client's first chunk maximises ``α · (Λa • Λx)`` with the last
+  chunk placed on the previous client;
+* in later rounds the first client catches up to the last client's
+  iteration count using ``β · (Λa • Λy)`` against its own last chunk,
+  and the others catch up to their left neighbour using
+  ``α · (Λa • Λx) + β · (Λa • Λy)``;
+* iteration counts are kept balanced circularly (each client schedules
+  until it reaches/just exceeds its reference neighbour's count).
+
+A progress guard force-schedules one chunk on the emptiest client when a
+whole round adds nothing (e.g. all counts already equal), which the
+paper's pseudo-code leaves implicit.
+"""
+
+from __future__ import annotations
+
+from repro.core.chunking import IterationChunk
+from repro.core.clustering import DistributionResult
+from repro.hierarchy.topology import CacheHierarchy, CacheNode
+from repro.util.bitset import Tag
+
+__all__ = ["schedule_clients", "schedule_group"]
+
+
+def _io_level_groups(hierarchy: CacheHierarchy) -> list[list[int]]:
+    """Clients grouped by their leaf-parent (I/O-level) cache node."""
+    groups: list[list[int]] = []
+
+    def visit(node: CacheNode) -> None:
+        if node.children and all(ch.is_leaf for ch in node.children):
+            groups.append(sorted(ch.client_id for ch in node.children))  # type: ignore[misc]
+            return
+        for ch in node.children:
+            visit(ch)
+
+    root = hierarchy.root
+    if root.is_leaf:  # degenerate single-client tree
+        return [[root.client_id]]  # type: ignore[list-item]
+    visit(root)
+    return groups
+
+
+def schedule_group(
+    client_chunks: list[list[int]],
+    pool: list[IterationChunk],
+    alpha: float,
+    beta: float,
+) -> list[list[int]]:
+    """Schedule one I/O-cache group of clients (Fig. 15 inner loop).
+
+    ``client_chunks[i]`` is the unordered pool-index set of the group's
+    i-th client; the return value is the ordered schedules.
+    """
+    n = len(client_chunks)
+    remaining: list[list[int]] = [list(c) for c in client_chunks]
+    schedules: list[list[int]] = [[] for _ in range(n)]
+    counts = [0] * n
+
+    def tag(m: int) -> Tag:
+        return pool[m].tag
+
+    def take(i: int, m: int) -> None:
+        remaining[i].remove(m)
+        schedules[i].append(m)
+        counts[i] += pool[m].size
+
+    def best(i: int, score) -> int:
+        # max score; ties by lowest pool index for determinism
+        return min(remaining[i], key=lambda m: (-score(m), m))
+
+    while any(remaining):
+        progressed = False
+        for i in range(n):
+            if not remaining[i]:
+                continue
+            if i == 0 and not schedules[i]:
+                # Fewest data chunks first (least "1" bits).
+                take(i, min(remaining[i], key=lambda m: (tag(m).popcount(), m)))
+                progressed = True
+            elif i > 0 and not schedules[i]:
+                prev = schedules[i - 1]
+                if prev:
+                    x = tag(prev[-1])
+                    take(i, best(i, lambda m: alpha * tag(m).dot(x)))
+                else:  # previous client had nothing at all
+                    take(i, min(remaining[i], key=lambda m: (tag(m).popcount(), m)))
+                progressed = True
+            elif i == 0:
+                # Catch up circularly to the last client of the previous round.
+                while remaining[i] and counts[i] < counts[n - 1]:
+                    y = tag(schedules[i][-1])
+                    take(i, best(i, lambda m: beta * tag(m).dot(y)))
+                    progressed = True
+            else:
+                while remaining[i] and counts[i] < counts[i - 1]:
+                    y = tag(schedules[i][-1])
+                    prev = schedules[i - 1]
+                    x = tag(prev[-1]) if prev else y
+                    take(
+                        i,
+                        best(
+                            i,
+                            lambda m: alpha * tag(m).dot(x) + beta * tag(m).dot(y),
+                        ),
+                    )
+                    progressed = True
+        if not progressed:
+            # All catch-up conditions already met (equal counts) but chunks
+            # remain: force one onto the least-loaded non-empty client.
+            i = min(
+                (j for j in range(n) if remaining[j]),
+                key=lambda j: counts[j],
+            )
+            if schedules[i]:
+                y = tag(schedules[i][-1])
+                take(i, best(i, lambda m: beta * tag(m).dot(y)))
+            else:
+                take(i, min(remaining[i], key=lambda m: (tag(m).popcount(), m)))
+    return schedules
+
+
+def schedule_clients(
+    distribution: DistributionResult,
+    hierarchy: CacheHierarchy,
+    alpha: float = 0.5,
+    beta: float = 0.5,
+) -> dict[int, list[int]]:
+    """Order every client's iteration chunks (Fig. 15, all groups).
+
+    Returns ``{client_id: [pool indices in execution order]}``.  The
+    paper's experiments use α = β = 0.5 (equal weights win, §5.4).
+    """
+    if alpha < 0 or beta < 0:
+        raise ValueError("alpha and beta must be non-negative")
+    out: dict[int, list[int]] = {}
+    for group in _io_level_groups(hierarchy):
+        chunks = [distribution.assignment[c] for c in group]
+        scheduled = schedule_group(chunks, distribution.pool, alpha, beta)
+        for client, order in zip(group, scheduled):
+            out[client] = order
+    return out

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment returns a structured result *and* renders the same
+rows/series the paper reports (normalized against the Original
+version).  See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+for paper-vs-measured numbers.
+"""
+
+from repro.experiments.config import (
+    SystemConfig,
+    DEFAULT_CONFIG,
+    PAPER_TABLE1,
+    scaled_config,
+)
+from repro.experiments.harness import (
+    run_suite,
+    normalized_suite,
+    average_improvement,
+)
+
+__all__ = [
+    "SystemConfig",
+    "DEFAULT_CONFIG",
+    "PAPER_TABLE1",
+    "scaled_config",
+    "run_suite",
+    "normalized_suite",
+    "average_improvement",
+]

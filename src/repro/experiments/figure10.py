@@ -1,0 +1,83 @@
+"""Figure 10: normalized L1/L2/L3 misses, Intra- vs Inter-processor.
+
+Paper result: the Intra-processor scheme reduces L1 misses (avg
+-16.2 %) but barely touches L2/L3 (-2.1 %/-0.5 %); the Inter-processor
+scheme reduces misses at *all three* levels (-15.3 %/-31.0 %/-24.6 %).
+
+Metric note: the paper plots normalized miss *rates*.  At our scale a
+better mapping also shrinks each shared level's *access count* (fewer
+upper-level misses reach it), which makes rate ratios misleading —
+absolute misses drop sharply while the rate denominator collapses.  We
+therefore normalize *miss counts* against the Original version; on the
+paper's testbed (where level access counts barely move) the two
+normalizations coincide.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_CONFIG, SystemConfig
+from repro.experiments.harness import run_suite
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["run", "LEVELS"]
+
+LEVELS = ("L1", "L2", "L3")
+
+#: Paper's average reductions, for the report footer (percent).
+PAPER_AVG = {
+    "intra": {"L1": 16.2, "L2": 2.1, "L3": 0.5},
+    "inter": {"L1": 15.3, "L2": 31.0, "L3": 24.6},
+}
+
+
+def run(config: SystemConfig | None = None) -> ExperimentReport:
+    config = config or DEFAULT_CONFIG
+    results = run_suite(config, versions=("original", "intra", "inter"))
+    headers = ["application"] + [
+        f"{v} {l}" for v in ("intra", "inter") for l in LEVELS
+    ]
+    rows = []
+    sums = {v: {l: 0.0 for l in LEVELS} for v in ("intra", "inter")}
+    for wname, per_version in results.items():
+        base = per_version["original"].sim.level_stats
+        row = [wname]
+        for v in ("intra", "inter"):
+            st = per_version[v].sim.level_stats
+            for l in LEVELS:
+                ratio = st[l].misses / base[l].misses if base[l].misses else 1.0
+                sums[v][l] += ratio
+                row.append(f"{ratio:.3f}")
+        rows.append(row)
+    n = len(results)
+    avg_row = ["AVERAGE"]
+    summary = {}
+    for v in ("intra", "inter"):
+        for l in LEVELS:
+            avg = sums[v][l] / n
+            avg_row.append(f"{avg:.3f}")
+            summary[f"{v}_{l}"] = avg
+    rows.append(avg_row)
+    notes = [
+        "values are misses normalized to the Original version (1.0 = no change)",
+        "paper average reductions: "
+        + "; ".join(
+            f"{v}: L1 -{PAPER_AVG[v]['L1']}%, L2 -{PAPER_AVG[v]['L2']}%, L3 -{PAPER_AVG[v]['L3']}%"
+            for v in ("intra", "inter")
+        ),
+    ]
+    return ExperimentReport(
+        "Figure 10",
+        "Normalized cache misses for the L1, L2 and L3 storage caches",
+        headers,
+        rows,
+        notes=notes,
+        summary=summary,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Figure 11: normalized I/O latency and total execution time.
+
+Paper result: Intra-processor improves I/O latency by 6.8 % and
+execution time by 3.5 % on average; Inter-processor improves them by
+26.3 % and 18.9 % — the headline numbers of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_CONFIG, SystemConfig
+from repro.experiments.harness import average_improvement, normalized_suite, run_suite
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["run"]
+
+#: The paper's average improvements (fractions).
+PAPER_AVG = {
+    "intra": {"io_latency": 0.068, "execution_time": 0.035},
+    "inter": {"io_latency": 0.263, "execution_time": 0.189},
+}
+
+
+def run(config: SystemConfig | None = None) -> ExperimentReport:
+    config = config or DEFAULT_CONFIG
+    results = run_suite(config, versions=("original", "intra", "inter"))
+    normalized = normalized_suite(results)
+    headers = [
+        "application",
+        "intra io",
+        "inter io",
+        "intra exec",
+        "inter exec",
+    ]
+    rows = []
+    for wname, per_version in normalized.items():
+        rows.append(
+            [
+                wname,
+                f"{per_version['intra']['io_latency']:.3f}",
+                f"{per_version['inter']['io_latency']:.3f}",
+                f"{per_version['intra']['execution_time']:.3f}",
+                f"{per_version['inter']['execution_time']:.3f}",
+            ]
+        )
+    summary = {}
+    avg_row = ["AVERAGE"]
+    for metric in ("io_latency", "execution_time"):
+        for version in ("intra", "inter"):
+            imp = average_improvement(normalized, version, metric)
+            summary[f"{version}_{metric}_improvement"] = imp
+    avg_row.extend(
+        [
+            f"{1 - summary['intra_io_latency_improvement']:.3f}",
+            f"{1 - summary['inter_io_latency_improvement']:.3f}",
+            f"{1 - summary['intra_execution_time_improvement']:.3f}",
+            f"{1 - summary['inter_execution_time_improvement']:.3f}",
+        ]
+    )
+    rows.append(avg_row)
+    notes = [
+        "values normalized to the Original version (lower is better)",
+        "paper averages: intra io -6.8%, exec -3.5%; inter io -26.3%, exec -18.9%",
+    ]
+    return ExperimentReport(
+        "Figure 11",
+        "Normalized I/O latency and total execution time",
+        headers,
+        rows,
+        notes=notes,
+        summary=summary,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,67 @@
+"""Shared sweep driver for the figure/table experiments.
+
+Runs versions over the suite, caches per-(workload, config, version)
+results within a sweep, and computes the paper's normalized values and
+average improvements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.simulator.metrics import ExperimentResult
+from repro.simulator.runner import VERSIONS, run_experiment
+from repro.workloads.base import Workload
+from repro.workloads.suite import SUITE
+
+__all__ = ["run_suite", "normalized_suite", "average_improvement"]
+
+
+def run_suite(
+    config,
+    versions: Sequence[str] = VERSIONS,
+    workloads: Iterable[Workload] | None = None,
+) -> dict[str, dict[str, ExperimentResult]]:
+    """Run every (workload, version) pair: ``{workload: {version: result}}``."""
+    workloads = list(workloads) if workloads is not None else list(SUITE)
+    out: dict[str, dict[str, ExperimentResult]] = {}
+    for w in workloads:
+        out[w.name] = {v: run_experiment(w, config, v) for v in versions}
+    return out
+
+
+def normalized_suite(
+    results: dict[str, dict[str, ExperimentResult]],
+    baseline: str = "original",
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Normalize every version against the baseline, per workload.
+
+    ``{workload: {version: {metric: normalized value}}}`` with metrics
+    ``io_latency``, ``execution_time`` and ``miss_rate_L*``; the
+    baseline's own entries are all exactly 1.0.
+    """
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for wname, per_version in results.items():
+        if baseline not in per_version:
+            raise KeyError(f"baseline {baseline!r} missing for {wname}")
+        base = per_version[baseline]
+        out[wname] = {
+            v: res.normalized_against(base) for v, res in per_version.items()
+        }
+    return out
+
+
+def average_improvement(
+    normalized: dict[str, dict[str, dict[str, float]]],
+    version: str,
+    metric: str,
+) -> float:
+    """Mean improvement of a metric across workloads, as a fraction.
+
+    E.g. 0.263 means a 26.3 % average reduction versus the baseline —
+    the units the paper's prose reports.
+    """
+    values = [per_version[version][metric] for per_version in normalized.values()]
+    if not values:
+        raise ValueError("no workloads in the normalized results")
+    return 1.0 - sum(values) / len(values)

@@ -1,0 +1,349 @@
+"""Chunk replacement policies.
+
+The paper manages every storage cache with LRU (§5.1) but stresses that
+the mapping is orthogonal to the policy ("our approach itself can work
+with any storage caching policy").  We ship LRU as the default plus
+FIFO, CLOCK, LFU and an MQ-lite (the multi-queue policy the related
+work cites for second-level buffer caches) so the orthogonality claim
+can be exercised (ablation bench).
+
+A policy tracks resident chunk ids and answers *which chunk to evict*.
+The hot path is ``touch``/``insert``/``evict``; LRU and FIFO are O(1)
+via ordered dicts, CLOCK is amortised O(1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "CLOCKPolicy",
+    "LFUPolicy",
+    "MQPolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy(ABC):
+    """Interface every replacement policy implements."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def touch(self, chunk_id: int) -> None:
+        """Record a hit on a resident chunk."""
+
+    @abstractmethod
+    def insert(self, chunk_id: int) -> None:
+        """Record the arrival of a chunk (not currently resident)."""
+
+    @abstractmethod
+    def evict(self) -> int:
+        """Choose and remove the victim chunk; return its id."""
+
+    @abstractmethod
+    def remove(self, chunk_id: int) -> None:
+        """Forcibly remove a chunk (invalidation)."""
+
+    @abstractmethod
+    def __contains__(self, chunk_id: int) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def resident(self) -> list[int]:
+        """All resident chunk ids (order unspecified)."""
+
+    @abstractmethod
+    def clear(self) -> None: ...
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used — the paper's default (§5.1)."""
+
+    name = "lru"
+
+    def __init__(self):
+        self._order: dict[int, None] = {}  # insertion order == recency order
+
+    def touch(self, chunk_id: int) -> None:
+        # Move to most-recently-used end.
+        try:
+            del self._order[chunk_id]
+        except KeyError:
+            raise KeyError(f"chunk {chunk_id} not resident") from None
+        self._order[chunk_id] = None
+
+    def insert(self, chunk_id: int) -> None:
+        if chunk_id in self._order:
+            raise ValueError(f"chunk {chunk_id} already resident")
+        self._order[chunk_id] = None
+
+    def evict(self) -> int:
+        try:
+            victim = next(iter(self._order))
+        except StopIteration:
+            raise RuntimeError("evict from empty cache") from None
+        del self._order[victim]
+        return victim
+
+    def remove(self, chunk_id: int) -> None:
+        try:
+            del self._order[chunk_id]
+        except KeyError:
+            raise KeyError(f"chunk {chunk_id} not resident") from None
+
+    def __contains__(self, chunk_id: int) -> bool:
+        return chunk_id in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def resident(self) -> list[int]:
+        return list(self._order)
+
+    def clear(self) -> None:
+        self._order.clear()
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: hits do not refresh residency."""
+
+    name = "fifo"
+
+    def __init__(self):
+        self._order: dict[int, None] = {}
+
+    def touch(self, chunk_id: int) -> None:
+        if chunk_id not in self._order:
+            raise KeyError(f"chunk {chunk_id} not resident")
+        # FIFO ignores hits.
+
+    def insert(self, chunk_id: int) -> None:
+        if chunk_id in self._order:
+            raise ValueError(f"chunk {chunk_id} already resident")
+        self._order[chunk_id] = None
+
+    def evict(self) -> int:
+        try:
+            victim = next(iter(self._order))
+        except StopIteration:
+            raise RuntimeError("evict from empty cache") from None
+        del self._order[victim]
+        return victim
+
+    def remove(self, chunk_id: int) -> None:
+        try:
+            del self._order[chunk_id]
+        except KeyError:
+            raise KeyError(f"chunk {chunk_id} not resident") from None
+
+    def __contains__(self, chunk_id: int) -> bool:
+        return chunk_id in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def resident(self) -> list[int]:
+        return list(self._order)
+
+    def clear(self) -> None:
+        self._order.clear()
+
+
+class CLOCKPolicy(ReplacementPolicy):
+    """Second-chance CLOCK: one reference bit per resident chunk."""
+
+    name = "clock"
+
+    def __init__(self):
+        self._ref: dict[int, bool] = {}  # insertion order = clock hand order
+
+    def touch(self, chunk_id: int) -> None:
+        if chunk_id not in self._ref:
+            raise KeyError(f"chunk {chunk_id} not resident")
+        self._ref[chunk_id] = True
+
+    def insert(self, chunk_id: int) -> None:
+        if chunk_id in self._ref:
+            raise ValueError(f"chunk {chunk_id} already resident")
+        self._ref[chunk_id] = False
+
+    def evict(self) -> int:
+        if not self._ref:
+            raise RuntimeError("evict from empty cache")
+        # Sweep from the hand (dict head), granting second chances by
+        # re-queueing referenced chunks with the bit cleared.
+        while True:
+            chunk_id = next(iter(self._ref))
+            referenced = self._ref.pop(chunk_id)
+            if referenced:
+                self._ref[chunk_id] = False  # moved to tail, bit cleared
+            else:
+                return chunk_id
+
+    def remove(self, chunk_id: int) -> None:
+        try:
+            del self._ref[chunk_id]
+        except KeyError:
+            raise KeyError(f"chunk {chunk_id} not resident") from None
+
+    def __contains__(self, chunk_id: int) -> bool:
+        return chunk_id in self._ref
+
+    def __len__(self) -> int:
+        return len(self._ref)
+
+    def resident(self) -> list[int]:
+        return list(self._ref)
+
+    def clear(self) -> None:
+        self._ref.clear()
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Least-frequently-used, ties broken by recency (LRU among ties)."""
+
+    name = "lfu"
+
+    def __init__(self):
+        self._freq: dict[int, int] = {}  # insertion order tracks recency
+        self._clock = 0
+        self._last: dict[int, int] = {}
+
+    def _bump(self, chunk_id: int) -> None:
+        self._clock += 1
+        self._last[chunk_id] = self._clock
+
+    def touch(self, chunk_id: int) -> None:
+        if chunk_id not in self._freq:
+            raise KeyError(f"chunk {chunk_id} not resident")
+        self._freq[chunk_id] += 1
+        self._bump(chunk_id)
+
+    def insert(self, chunk_id: int) -> None:
+        if chunk_id in self._freq:
+            raise ValueError(f"chunk {chunk_id} already resident")
+        self._freq[chunk_id] = 1
+        self._bump(chunk_id)
+
+    def evict(self) -> int:
+        if not self._freq:
+            raise RuntimeError("evict from empty cache")
+        victim = min(
+            self._freq, key=lambda c: (self._freq[c], self._last[c])
+        )
+        del self._freq[victim]
+        del self._last[victim]
+        return victim
+
+    def remove(self, chunk_id: int) -> None:
+        try:
+            del self._freq[chunk_id]
+            del self._last[chunk_id]
+        except KeyError:
+            raise KeyError(f"chunk {chunk_id} not resident") from None
+
+    def __contains__(self, chunk_id: int) -> bool:
+        return chunk_id in self._freq
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def resident(self) -> list[int]:
+        return list(self._freq)
+
+    def clear(self) -> None:
+        self._freq.clear()
+        self._last.clear()
+        self._clock = 0
+
+
+class MQPolicy(ReplacementPolicy):
+    """Multi-Queue (Zhou et al., USENIX ATC'01) — lite.
+
+    The paper's related work singles MQ out as the policy suited to
+    second-level buffer caches, whose accesses (the first level's
+    misses) have weak recency but strong frequency structure.  This is
+    the core of the algorithm: ``m`` LRU queues, a chunk lives in queue
+    ``min(log2(frequency), m-1)``, eviction takes the LRU chunk of the
+    lowest non-empty queue.  (The full MQ's lifetime-based demotion and
+    ghost buffer are out of scope.)
+    """
+
+    name = "mq"
+
+    def __init__(self, num_queues: int = 4):
+        if num_queues < 1:
+            raise ValueError("need at least one queue")
+        self.num_queues = num_queues
+        self._queues: list[dict[int, None]] = [dict() for _ in range(num_queues)]
+        self._freq: dict[int, int] = {}
+
+    def _queue_of(self, freq: int) -> int:
+        return min(freq.bit_length() - 1, self.num_queues - 1)
+
+    def touch(self, chunk_id: int) -> None:
+        if chunk_id not in self._freq:
+            raise KeyError(f"chunk {chunk_id} not resident")
+        old_q = self._queue_of(self._freq[chunk_id])
+        self._freq[chunk_id] += 1
+        new_q = self._queue_of(self._freq[chunk_id])
+        del self._queues[old_q][chunk_id]
+        self._queues[new_q][chunk_id] = None  # MRU position of its queue
+
+    def insert(self, chunk_id: int) -> None:
+        if chunk_id in self._freq:
+            raise ValueError(f"chunk {chunk_id} already resident")
+        self._freq[chunk_id] = 1
+        self._queues[0][chunk_id] = None
+
+    def evict(self) -> int:
+        for queue in self._queues:
+            if queue:
+                victim = next(iter(queue))
+                del queue[victim]
+                del self._freq[victim]
+                return victim
+        raise RuntimeError("evict from empty cache")
+
+    def remove(self, chunk_id: int) -> None:
+        if chunk_id not in self._freq:
+            raise KeyError(f"chunk {chunk_id} not resident")
+        q = self._queue_of(self._freq[chunk_id])
+        del self._queues[q][chunk_id]
+        del self._freq[chunk_id]
+
+    def __contains__(self, chunk_id: int) -> bool:
+        return chunk_id in self._freq
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def resident(self) -> list[int]:
+        return list(self._freq)
+
+    def clear(self) -> None:
+        for q in self._queues:
+            q.clear()
+        self._freq.clear()
+
+
+_POLICIES = {
+    cls.name: cls
+    for cls in (LRUPolicy, FIFOPolicy, CLOCKPolicy, LFUPolicy, MQPolicy)
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``fifo``/``clock``)."""
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

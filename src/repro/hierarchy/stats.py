@@ -1,0 +1,75 @@
+"""Per-cache access statistics.
+
+Tracks exactly the quantities the paper reports: accesses, hits, misses
+(Table 2 and Fig. 10 are per-level miss *rates*), plus evictions and
+fills for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one storage cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    cold_misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+
+    def record_hit(self) -> None:
+        self.accesses += 1
+        self.hits += 1
+
+    def record_miss(self, cold: bool = False) -> None:
+        self.accesses += 1
+        self.misses += 1
+        if cold:
+            self.cold_misses += 1
+
+    def record_fill(self) -> None:
+        self.fills += 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
+    @property
+    def miss_rate(self) -> float:
+        """``misses / accesses``; 0.0 for an untouched cache."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def capacity_misses(self) -> int:
+        """Misses to previously seen chunks (capacity/sharing effects)."""
+        return self.misses - self.cold_misses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate counters (e.g. all caches of one level)."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            cold_misses=self.cold_misses + other.cold_misses,
+            fills=self.fills + other.fills,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = 0
+        self.cold_misses = self.fills = self.evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(accesses={self.accesses}, hits={self.hits}, "
+            f"misses={self.misses}, miss_rate={self.miss_rate:.3f})"
+        )

@@ -1,0 +1,49 @@
+"""A small polyhedral substrate (the paper used the Omega library).
+
+Provides exactly the objects the mapping algorithm consumes:
+
+* :class:`~repro.polyhedral.affine.AffineExpr` /
+  :class:`~repro.polyhedral.affine.AffineMap` — linear-algebraic array
+  subscripts ``R(i) = Q·i + q`` (paper §2), plus the modulo subscripts the
+  paper's running example (Fig. 6, ``A[i % d]``) needs;
+* :class:`~repro.polyhedral.iterspace.IterationSpace` — rectangular loop
+  nests with lexicographic, vectorised enumeration;
+* :class:`~repro.polyhedral.sets.IntegerSet` — bounded integer sets with
+  affine constraints (the Omega-lite used to express ``G``, ``H`` and the
+  iteration chunks ``γ_Λ`` of §4.2);
+* :class:`~repro.polyhedral.references.ArrayRef` — array references that
+  evaluate, vectorised, to global element offsets in a
+  :class:`~repro.polyhedral.arrays.DataSpace`;
+* :mod:`~repro.polyhedral.codegen` — Omega ``codegen()``-style loop-band
+  reconstruction for enumerating an iteration chunk;
+* :mod:`~repro.polyhedral.dependence` — data-dependence tests and
+  distance vectors;
+* :mod:`~repro.polyhedral.transforms` — loop permutation and tiling (the
+  Intra-processor baseline of §5.1).
+"""
+
+from repro.polyhedral.affine import AffineExpr, AffineMap
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace, LoopBound
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+from repro.polyhedral.sets import Constraint, IntegerSet
+from repro.polyhedral.dependence import Dependence, find_dependences
+from repro.polyhedral.transforms import permute_iterations, tile_iterations
+
+__all__ = [
+    "AffineExpr",
+    "AffineMap",
+    "DataSpace",
+    "DiskArray",
+    "IterationSpace",
+    "LoopBound",
+    "LoopNest",
+    "ArrayRef",
+    "Constraint",
+    "IntegerSet",
+    "Dependence",
+    "find_dependences",
+    "permute_iterations",
+    "tile_iterations",
+]

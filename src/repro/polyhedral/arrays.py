@@ -1,0 +1,183 @@
+"""Disk-resident arrays and the concatenated data space (paper §4.2).
+
+The paper divides "the set of data elements of all disk-resident arrays
+combined" into ``r`` equal-sized chunks, partitioning each array
+separately (no chunk spans two arrays) while numbering chunks
+consecutively across arrays (Fig. 4).  :class:`DataSpace` implements
+exactly that: per-array chunk bases, row-major element layout, and a
+vectorised ``chunk_of`` mapping from (array, multi-index) to global data
+chunk id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["DiskArray", "DataSpace"]
+
+
+@dataclass(frozen=True)
+class DiskArray:
+    """A disk-resident multi-dimensional array.
+
+    ``shape`` counts elements per dimension; ``element_size`` is in bytes
+    and only matters when converting chunk counts to byte capacities.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    element_size: int = 8
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("array needs a name")
+        if not self.shape:
+            raise ValueError("array needs at least one dimension")
+        for d in self.shape:
+            check_positive(f"dimension of {self.name}", d)
+        check_positive("element_size", self.element_size)
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total element count."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.element_size
+
+    def linearize(self, indices: np.ndarray) -> np.ndarray:
+        """Row-major element offsets for ``(N, ndim)`` multi-indices."""
+        idx = np.asarray(indices, dtype=np.int64)
+        single = idx.ndim == 1
+        if single:
+            idx = idx[None, :]
+        if idx.shape[1] != self.ndim:
+            raise ValueError(
+                f"{self.name} has {self.ndim} dims, got indices with {idx.shape[1]}"
+            )
+        shape = np.asarray(self.shape, dtype=np.int64)
+        if (idx < 0).any() or (idx >= shape).any():
+            bad = idx[((idx < 0) | (idx >= shape)).any(axis=1)][0]
+            raise IndexError(f"index {bad.tolist()} out of bounds for {self.name}{self.shape}")
+        out = np.ravel_multi_index(tuple(idx.T), self.shape).astype(np.int64)
+        return out[0] if single else out
+
+
+class DataSpace:
+    """All disk-resident arrays of a program, chunked for tagging.
+
+    Parameters
+    ----------
+    arrays:
+        The ordered arrays (order fixes the global chunk numbering).
+    chunk_elems:
+        Data chunk size in *elements*.  The paper uses 64 KB chunks of
+        8-byte elements, i.e. 8192 elements; scaled-down workloads use
+        smaller chunks with the same ratios.
+    """
+
+    __slots__ = ("arrays", "chunk_elems", "_by_name", "_chunk_base", "_nchunks")
+
+    def __init__(self, arrays: Sequence[DiskArray], chunk_elems: int):
+        if not arrays:
+            raise ValueError("data space needs at least one array")
+        self.chunk_elems = check_positive("chunk_elems", chunk_elems)
+        self.arrays = tuple(arrays)
+        self._by_name = {}
+        for idx, arr in enumerate(self.arrays):
+            if arr.name in self._by_name:
+                raise ValueError(f"duplicate array name {arr.name!r}")
+            self._by_name[arr.name] = idx
+        # Per-array first chunk id: arrays are chunked separately, labels
+        # run consecutively across arrays (paper Fig. 4).
+        bases = [0]
+        for arr in self.arrays:
+            bases.append(bases[-1] + self._chunks_in(arr))
+        self._chunk_base = tuple(bases)
+        self._nchunks = bases[-1]
+
+    def _chunks_in(self, arr: DiskArray) -> int:
+        return -(-arr.size // self.chunk_elems)  # ceil div
+
+    # -- lookup -------------------------------------------------------------------
+
+    @property
+    def num_chunks(self) -> int:
+        """The tag width *r*."""
+        return self._nchunks
+
+    def array_index(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown array {name!r}") from None
+
+    def array(self, name: str) -> DiskArray:
+        return self.arrays[self.array_index(name)]
+
+    def chunk_base(self, name: str) -> int:
+        """Global id of the first chunk of the named array."""
+        return self._chunk_base[self.array_index(name)]
+
+    def chunks_of_array(self, name: str) -> range:
+        idx = self.array_index(name)
+        return range(self._chunk_base[idx], self._chunk_base[idx + 1])
+
+    # -- mapping ------------------------------------------------------------------
+
+    def chunk_of(self, name: str, indices: np.ndarray) -> np.ndarray:
+        """Global data chunk ids for multi-indices into the named array.
+
+        Vectorised: ``indices`` is ``(N, ndim)`` (or a single index
+        vector); returns int64 chunk ids of the same leading shape.
+        """
+        arr = self.array(name)
+        offsets = arr.linearize(indices)
+        return offsets // self.chunk_elems + self.chunk_base(name)
+
+    def chunk_of_offsets(self, name: str, offsets: np.ndarray) -> np.ndarray:
+        """Global chunk ids for row-major element offsets into the array."""
+        arr = self.array(name)
+        off = np.asarray(offsets, dtype=np.int64)
+        if (off < 0).any() or (off >= arr.size).any():
+            raise IndexError(f"offset out of bounds for {name}")
+        return off // self.chunk_elems + self.chunk_base(name)
+
+    def owner_of_chunk(self, chunk_id: int) -> str:
+        """Name of the array a global chunk id belongs to."""
+        if not 0 <= chunk_id < self._nchunks:
+            raise IndexError(f"chunk id {chunk_id} outside [0, {self._nchunks})")
+        # few arrays -> linear scan is fine and obvious
+        for idx, arr in enumerate(self.arrays):
+            if chunk_id < self._chunk_base[idx + 1]:
+                return arr.name
+        raise AssertionError("unreachable")
+
+    @property
+    def total_elements(self) -> int:
+        return sum(a.size for a in self.arrays)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays)
+
+    def __repr__(self) -> str:
+        names = ", ".join(a.name for a in self.arrays)
+        return (
+            f"DataSpace([{names}], chunk_elems={self.chunk_elems}, "
+            f"num_chunks={self.num_chunks})"
+        )

@@ -1,0 +1,132 @@
+"""Omega ``codegen()``-style loop reconstruction for iteration chunks.
+
+Once the mapper assigns a set of iteration chunks to a client node, the
+compiler must "generate code that enumerates the iterations in those
+chunks" (paper §4.2, via Omega's ``codegen(.)``).  Our equivalent takes
+the explicit point set of a chunk and compresses it back into a compact
+band of loops: lexicographically sorted points whose innermost dimension
+forms contiguous runs become ``for`` ranges; outer dimensions become
+nested loops over their distinct prefixes.
+
+The output is both a structured form (:class:`LoopBand` list — what the
+simulator consumes) and a rendered pseudo-C listing (what a compiler
+back-end would emit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LoopBand", "generate_bands", "render_code", "enumerate_bands"]
+
+
+@dataclass(frozen=True)
+class LoopBand:
+    """A run of iterations sharing an outer-prefix: ``prefix × [lo, hi]``.
+
+    ``prefix`` fixes the values of all but the innermost dimension;
+    the innermost dimension sweeps the inclusive range ``[lo, hi]``.
+    """
+
+    prefix: tuple[int, ...]
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.hi < self.lo:
+            raise ValueError("empty band")
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+
+def generate_bands(points: np.ndarray) -> list[LoopBand]:
+    """Compress an explicit ``(N, depth)`` point set into loop bands.
+
+    Points are first sorted lexicographically (the order generated code
+    would execute them in); each maximal run that is contiguous in the
+    innermost dimension and constant in the outer dimensions becomes one
+    band.  Fully vectorised (no per-point Python loop).
+    """
+    pts = np.asarray(points, dtype=np.int64)
+    if pts.ndim != 2:
+        raise ValueError("points must be (N, depth)")
+    if len(pts) == 0:
+        return []
+    order = np.lexsort(tuple(pts[:, k] for k in range(pts.shape[1] - 1, -1, -1)))
+    pts = pts[order]
+    # A new band starts where the outer prefix changes or the innermost
+    # coordinate is not the predecessor + 1.
+    if len(pts) == 1:
+        breaks = np.asarray([0])
+    else:
+        outer_change = (pts[1:, :-1] != pts[:-1, :-1]).any(axis=1)
+        inner_jump = pts[1:, -1] != pts[:-1, -1] + 1
+        starts = np.flatnonzero(outer_change | inner_jump) + 1
+        breaks = np.concatenate(([0], starts))
+    ends = np.concatenate((breaks[1:], [len(pts)])) - 1
+    return [
+        LoopBand(tuple(int(v) for v in pts[s, :-1]), int(pts[s, -1]), int(pts[e, -1]))
+        for s, e in zip(breaks, ends)
+    ]
+
+
+def enumerate_bands(bands: Sequence[LoopBand], depth: int) -> np.ndarray:
+    """Expand bands back to an explicit ``(N, depth)`` point matrix.
+
+    The inverse of :func:`generate_bands`; used by the simulator to
+    materialise a chunk's iterations in generated-code order.
+    """
+    if not bands:
+        return np.empty((0, depth), dtype=np.int64)
+    chunks = []
+    for band in bands:
+        if len(band.prefix) != depth - 1:
+            raise ValueError("band prefix does not match depth")
+        inner = np.arange(band.lo, band.hi + 1, dtype=np.int64)
+        block = np.empty((len(inner), depth), dtype=np.int64)
+        block[:, :-1] = np.asarray(band.prefix, dtype=np.int64)
+        block[:, -1] = inner
+        chunks.append(block)
+    return np.concatenate(chunks, axis=0)
+
+
+def render_code(
+    bands: Sequence[LoopBand],
+    iterator_names: Sequence[str],
+    body: str = "body(…);",
+) -> str:
+    """Render bands as a pseudo-C listing.
+
+    Consecutive bands sharing outer-prefix components share the emitted
+    outer assignments, mimicking what a real code generator produces.
+    """
+    names = list(iterator_names)
+    lines: list[str] = []
+    prev_prefix: tuple[int, ...] | None = None
+    for band in bands:
+        if len(band.prefix) != len(names) - 1:
+            raise ValueError("band prefix does not match iterator names")
+        # Emit only the prefix components that changed.
+        start = 0
+        if prev_prefix is not None:
+            while (
+                start < len(band.prefix) and band.prefix[start] == prev_prefix[start]
+            ):
+                start += 1
+        for k in range(start, len(band.prefix)):
+            lines.append("  " * k + f"{names[k]} = {band.prefix[k]};")
+        indent = "  " * len(band.prefix)
+        inner = names[-1]
+        if band.lo == band.hi:
+            lines.append(indent + f"{inner} = {band.lo}; {body}")
+        else:
+            lines.append(
+                indent + f"for ({inner} = {band.lo}; {inner} <= {band.hi}; {inner}++) {body}"
+            )
+        prev_prefix = band.prefix
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Rectangular loop-nest iteration spaces.
+
+An *n*-deep loop nest is a vector of iterators with inclusive integer
+bounds (paper §2: ``Lk <= i'k <= Uk``).  :meth:`IterationSpace.enumerate`
+materialises the iterations in lexicographic order — the paper's default
+sequential order, which the *Original* baseline blocks over the clients —
+as an ``(N, n)`` int64 matrix, built vectorised (no Python loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["LoopBound", "IterationSpace"]
+
+
+@dataclass(frozen=True)
+class LoopBound:
+    """Inclusive bounds ``lower <= i <= upper`` of one loop iterator."""
+
+    lower: int
+    upper: int
+    name: str = ""
+
+    def __post_init__(self):
+        if self.upper < self.lower:
+            raise ValueError(
+                f"empty loop bound: upper {self.upper} < lower {self.lower}"
+            )
+
+    @property
+    def trip_count(self) -> int:
+        return self.upper - self.lower + 1
+
+    def values(self) -> np.ndarray:
+        return np.arange(self.lower, self.upper + 1, dtype=np.int64)
+
+
+class IterationSpace:
+    """The Cartesian iteration space of a rectangular loop nest."""
+
+    __slots__ = ("bounds",)
+
+    def __init__(self, bounds: Sequence[LoopBound | tuple[int, int]]):
+        norm: list[LoopBound] = []
+        for k, b in enumerate(bounds):
+            if isinstance(b, LoopBound):
+                norm.append(b if b.name else LoopBound(b.lower, b.upper, f"i{k}"))
+            else:
+                lo, hi = b
+                norm.append(LoopBound(int(lo), int(hi), f"i{k}"))
+        if not norm:
+            raise ValueError("a loop nest needs at least one loop")
+        self.bounds = tuple(norm)
+
+    @classmethod
+    def from_extents(cls, extents: Sequence[int]) -> "IterationSpace":
+        """A nest of ``for ik = 0 to extents[k]-1`` loops."""
+        return cls([(0, int(e) - 1) for e in extents])
+
+    # -- shape --------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def size(self) -> int:
+        """Total iteration count N."""
+        n = 1
+        for b in self.bounds:
+            n *= b.trip_count
+        return n
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(b.trip_count for b in self.bounds)
+
+    @property
+    def lowers(self) -> np.ndarray:
+        return np.asarray([b.lower for b in self.bounds], dtype=np.int64)
+
+    @property
+    def uppers(self) -> np.ndarray:
+        return np.asarray([b.upper for b in self.bounds], dtype=np.int64)
+
+    # -- enumeration --------------------------------------------------------------
+
+    def enumerate(self) -> np.ndarray:
+        """All iterations, lexicographic order, as an ``(N, depth)`` matrix."""
+        shape = self.shape
+        grids = np.indices(shape).reshape(self.depth, -1).T.astype(np.int64)
+        return grids + self.lowers
+
+    def linearize(self, iterations: np.ndarray) -> np.ndarray:
+        """Map iteration vectors to their lexicographic ranks in [0, N)."""
+        its = np.asarray(iterations, dtype=np.int64)
+        single = its.ndim == 1
+        if single:
+            its = its[None, :]
+        if its.shape[1] != self.depth:
+            raise ValueError("dimension mismatch")
+        rel = its - self.lowers
+        shape = np.asarray(self.shape, dtype=np.int64)
+        if (rel < 0).any() or (rel >= shape).any():
+            raise ValueError("iteration outside the space")
+        ranks = np.ravel_multi_index(tuple(rel.T), tuple(self.shape))
+        ranks = ranks.astype(np.int64)
+        return ranks[0] if single else ranks
+
+    def delinearize(self, ranks: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`linearize`."""
+        r = np.asarray(ranks, dtype=np.int64)
+        single = r.ndim == 0
+        if single:
+            r = r[None]
+        if (r < 0).any() or (r >= self.size).any():
+            raise ValueError("rank outside [0, N)")
+        coords = np.stack(np.unravel_index(r, self.shape), axis=1).astype(np.int64)
+        coords += self.lowers
+        return coords[0] if single else coords
+
+    def contains(self, iterations: np.ndarray) -> np.ndarray:
+        """Vectorised membership test; returns a boolean vector."""
+        its = np.asarray(iterations, dtype=np.int64)
+        single = its.ndim == 1
+        if single:
+            its = its[None, :]
+        ok = np.logical_and(
+            (its >= self.lowers).all(axis=1), (its <= self.uppers).all(axis=1)
+        )
+        return bool(ok[0]) if single else ok
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for row in self.enumerate():
+            yield tuple(int(v) for v in row)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IterationSpace) and self.bounds == other.bounds
+
+    def __hash__(self) -> int:
+        return hash(self.bounds)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{b.name}=[{b.lower},{b.upper}]" for b in self.bounds
+        )
+        return f"IterationSpace({parts})"

@@ -1,0 +1,59 @@
+"""Loop nests: an iteration space plus the references in the loop body."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.references import ArrayRef
+
+__all__ = ["LoopNest"]
+
+
+class LoopNest:
+    """A (possibly parallelised) loop nest over disk-resident arrays.
+
+    This is the unit the mapping algorithm operates on (paper §4.3 —
+    "our approach operates at a loop nest granularity").
+    """
+
+    __slots__ = ("name", "space", "references")
+
+    def __init__(self, name: str, space: IterationSpace, references: Sequence[ArrayRef]):
+        if not references:
+            raise ValueError(f"loop nest {name!r} has no array references")
+        for ref in references:
+            if ref.depth != space.depth:
+                raise ValueError(
+                    f"reference {ref!r} depth {ref.depth} != nest depth {space.depth}"
+                )
+        self.name = name
+        self.space = space
+        self.references = tuple(references)
+
+    @property
+    def depth(self) -> int:
+        return self.space.depth
+
+    @property
+    def num_iterations(self) -> int:
+        return self.space.size
+
+    @property
+    def arrays_referenced(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for ref in self.references:
+            seen.setdefault(ref.array_name, None)
+        return tuple(seen)
+
+    def iterations(self) -> np.ndarray:
+        """All iterations in lexicographic order, ``(N, depth)``."""
+        return self.space.enumerate()
+
+    def __repr__(self) -> str:
+        return (
+            f"LoopNest({self.name!r}, depth={self.depth}, "
+            f"iterations={self.num_iterations}, refs={len(self.references)})"
+        )

@@ -1,0 +1,112 @@
+"""Array references inside a loop body.
+
+An :class:`ArrayRef` binds an :class:`~repro.polyhedral.affine.AffineMap`
+to a named disk-resident array; ``touched_chunks`` evaluates, fully
+vectorised, which global data chunk every iteration touches through this
+reference — the raw material for the iteration tags of §4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.polyhedral.affine import AffineExpr, AffineMap
+from repro.polyhedral.arrays import DataSpace
+
+__all__ = ["ArrayRef"]
+
+
+class ArrayRef:
+    """A single reference ``array[ R(i) ]`` in a loop body."""
+
+    __slots__ = ("array_name", "map", "is_write")
+
+    def __init__(self, array_name: str, subscripts: AffineMap | Sequence[AffineExpr], *, is_write: bool = False):
+        if not array_name:
+            raise ValueError("reference needs an array name")
+        self.array_name = array_name
+        self.map = subscripts if isinstance(subscripts, AffineMap) else AffineMap(list(subscripts))
+        self.is_write = bool(is_write)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_matrix(
+        cls,
+        array_name: str,
+        Q: Sequence[Sequence[int]],
+        q: Sequence[int],
+        *,
+        is_write: bool = False,
+    ) -> "ArrayRef":
+        """Construct from the paper's access-matrix form ``R(i) = Q·i + q``."""
+        return cls(array_name, AffineMap.from_matrix(Q, q), is_write=is_write)
+
+    @classmethod
+    def identity(
+        cls, array_name: str, depth: int, offsets: Sequence[int] | None = None, *, is_write: bool = False
+    ) -> "ArrayRef":
+        """The uniform reference ``A[i0+o0, i1+o1, …]``."""
+        offs = [0] * depth if offsets is None else list(offsets)
+        if len(offs) != depth:
+            raise ValueError("one offset per loop expected")
+        exprs = [AffineExpr.iterator(k, depth, offs[k]) for k in range(depth)]
+        return cls(array_name, exprs, is_write=is_write)
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return self.map.depth
+
+    @property
+    def ndim(self) -> int:
+        return self.map.ndim
+
+    @property
+    def is_affine(self) -> bool:
+        return self.map.is_affine
+
+    def matrix_form(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.map.matrix_form()
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def indices(self, iterations: np.ndarray) -> np.ndarray:
+        """Array multi-indices touched by the given iterations."""
+        return self.map.evaluate(iterations)
+
+    def touched_chunks(self, iterations: np.ndarray, data_space: DataSpace) -> np.ndarray:
+        """Global data chunk id touched by each iteration via this reference.
+
+        ``iterations`` is ``(N, depth)``; the result is an int64 vector of
+        length N (one chunk per iteration — a single reference touches
+        exactly one element, hence one chunk, per iteration).
+        """
+        idx = self.indices(iterations)
+        if idx.ndim == 1:
+            idx = idx[None, :]
+        arr = data_space.array(self.array_name)
+        if idx.shape[1] != arr.ndim:
+            raise ValueError(
+                f"reference to {self.array_name} has {idx.shape[1]} subscripts, "
+                f"array has {arr.ndim} dims"
+            )
+        return data_space.chunk_of(self.array_name, idx)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayRef)
+            and self.array_name == other.array_name
+            and self.map == other.map
+            and self.is_write == other.is_write
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.array_name, self.map, self.is_write))
+
+    def __repr__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        return f"ArrayRef({self.array_name}, {self.map.exprs!r}, {kind})"

@@ -1,0 +1,155 @@
+"""Bounded integer sets with affine constraints — the Omega-lite.
+
+The paper expresses the iteration set ``G``, the array index set ``H``
+and the iteration chunks ``γ_Λ`` as polyhedral (integer) sets manipulated
+with the Omega library (§4.1-4.2).  :class:`IntegerSet` supports the
+operations the mapping pipeline needs: membership, enumeration,
+intersection, constraint filtering, and difference against another set —
+all vectorised over candidate points.
+
+Sets are bounded by a rectangular box (an
+:class:`~repro.polyhedral.iterspace.IterationSpace`) plus arbitrary
+affine inequality constraints ``expr >= 0`` and congruences
+``expr ≡ rem (mod m)``.  This is exactly the fragment needed here;
+general Presburger arithmetic is out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.iterspace import IterationSpace
+
+__all__ = ["Constraint", "IntegerSet"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One affine constraint over iteration vectors.
+
+    ``kind == "ge"``  keeps points with ``expr(i) >= 0``;
+    ``kind == "eq"``  keeps points with ``expr(i) == 0``;
+    ``kind == "mod"`` keeps points with ``expr(i) % modulus == remainder``.
+    """
+
+    expr: AffineExpr
+    kind: str = "ge"
+    modulus: int | None = None
+    remainder: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ("ge", "eq", "mod"):
+            raise ValueError(f"unknown constraint kind {self.kind!r}")
+        if self.kind == "mod":
+            if self.modulus is None or self.modulus <= 0:
+                raise ValueError("mod constraint needs a positive modulus")
+            if not 0 <= self.remainder < self.modulus:
+                raise ValueError("remainder must lie in [0, modulus)")
+        elif self.modulus is not None:
+            raise ValueError(f"{self.kind!r} constraint must not carry a modulus")
+
+    def satisfied(self, iterations: np.ndarray) -> np.ndarray:
+        vals = self.expr.evaluate(iterations)
+        if self.kind == "ge":
+            return vals >= 0
+        if self.kind == "eq":
+            return vals == 0
+        return np.mod(vals, self.modulus) == self.remainder
+
+
+class IntegerSet:
+    """A bounded integer set: box ∩ affine constraints."""
+
+    __slots__ = ("box", "constraints")
+
+    def __init__(self, box: IterationSpace, constraints: Sequence[Constraint] = ()):
+        for c in constraints:
+            if c.expr.depth != box.depth:
+                raise ValueError("constraint depth must match box depth")
+        self.box = box
+        self.constraints = tuple(constraints)
+
+    @classmethod
+    def universe(cls, box: IterationSpace) -> "IntegerSet":
+        return cls(box)
+
+    @property
+    def depth(self) -> int:
+        return self.box.depth
+
+    # -- queries ------------------------------------------------------------------
+
+    def contains(self, iterations: np.ndarray) -> np.ndarray:
+        """Vectorised membership over ``(N, depth)`` candidates."""
+        its = np.asarray(iterations, dtype=np.int64)
+        single = its.ndim == 1
+        if single:
+            its = its[None, :]
+        ok = self.box.contains(its)
+        if np.ndim(ok) == 0:
+            ok = np.asarray([ok])
+        for c in self.constraints:
+            ok = ok & c.satisfied(its)
+        return bool(ok[0]) if single else ok
+
+    def enumerate(self) -> np.ndarray:
+        """All member points, lexicographic, as ``(M, depth)``."""
+        pts = self.box.enumerate()
+        if not self.constraints:
+            return pts
+        keep = np.ones(len(pts), dtype=bool)
+        for c in self.constraints:
+            keep &= c.satisfied(pts)
+        return pts[keep]
+
+    def count(self) -> int:
+        if not self.constraints:
+            return self.box.size
+        return int(len(self.enumerate()))
+
+    def is_empty(self) -> bool:
+        if not self.constraints:
+            return self.box.size == 0
+        return self.count() == 0
+
+    # -- algebra ------------------------------------------------------------------
+
+    def with_constraint(self, constraint: Constraint) -> "IntegerSet":
+        return IntegerSet(self.box, self.constraints + (constraint,))
+
+    def intersect(self, other: "IntegerSet") -> "IntegerSet":
+        """Intersection; boxes are intersected dimension-wise."""
+        if self.depth != other.depth:
+            raise ValueError("depth mismatch")
+        from repro.polyhedral.iterspace import LoopBound
+
+        bounds = []
+        for a, b in zip(self.box.bounds, other.box.bounds):
+            lo, hi = max(a.lower, b.lower), min(a.upper, b.upper)
+            if hi < lo:
+                # Empty intersection: encode as an unsatisfiable constraint on
+                # a 1-point box so downstream code sees an empty set.
+                empty = IntegerSet(
+                    IterationSpace([(0, 0)] * self.depth),
+                    (Constraint(AffineExpr.constant(-1, self.depth)),),
+                )
+                return empty
+            bounds.append(LoopBound(lo, hi, a.name))
+        return IntegerSet(
+            IterationSpace(bounds), self.constraints + other.constraints
+        )
+
+    def difference_points(self, other: "IntegerSet") -> np.ndarray:
+        """Points of ``self`` not in ``other`` (explicit enumeration)."""
+        pts = self.enumerate()
+        if len(pts) == 0:
+            return pts
+        mask = other.contains(pts)
+        return pts[~np.asarray(mask)]
+
+    def __repr__(self) -> str:
+        return f"IntegerSet({self.box!r}, {len(self.constraints)} constraints)"

@@ -1,0 +1,244 @@
+"""The interleaved multi-client simulation engine.
+
+Clients execute concurrently: the engine processes accesses in global
+round-robin order (round t serves the t-th access of every client that
+still has one), so streams of clients sharing an L2/L3 cache interleave
+there — exactly the destructive/constructive interference the paper's
+mapping manipulates.
+
+One access walks the client's cache path (L1 → L2 → L3); the first hit
+stops the walk, a full miss is served by the striped file system and the
+chunk is filled into every cache on the path (inclusive hierarchy, as a
+read through every layer leaves a copy in each cache — the Blue Gene/P
+forwarding model of §5.1).  Per-client I/O time accumulates the latency
+of every level touched plus disk time; compute time adds a fixed cost
+per iteration; cross-client dependences charge a synchronisation stall
+each (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hierarchy.topology import CacheHierarchy
+from repro.simulator.metrics import SimulationResult
+from repro.storage.filesystem import ParallelFileSystem
+
+__all__ = ["LatencyModel", "simulate", "interleave_order"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Access latencies in milliseconds.
+
+    ``level_ms[k]`` is the cost of probing the k-th cache on a client's
+    path (L1 local memory, L2 across the tree network, L3 at the storage
+    node).  A hit at level k costs ``sum(level_ms[:k+1])``; a full miss
+    additionally pays the disk.  Defaults give the classic three order-of
+    magnitude spread between local memory and a 10k RPM disk.
+    """
+
+    level_ms: tuple[float, ...] = (0.005, 0.12, 0.35)
+    sync_stall_ms: float = 0.5
+    compute_ms_per_iteration: float = 0.02
+
+    def __post_init__(self):
+        if not self.level_ms:
+            raise ValueError("need at least one cache level latency")
+        if any(l < 0 for l in self.level_ms):
+            raise ValueError("latencies must be non-negative")
+        if self.sync_stall_ms < 0 or self.compute_ms_per_iteration < 0:
+            raise ValueError("latencies must be non-negative")
+
+    def hit_cost(self, level: int) -> float:
+        """Cumulative cost of a hit at cache level ``level`` (0-based)."""
+        return float(sum(self.level_ms[: level + 1]))
+
+
+def interleave_order(lengths: list[int]) -> tuple[np.ndarray, np.ndarray]:
+    """Global round-robin order over per-client streams.
+
+    Returns ``(clients, positions)``: the client and its stream position
+    served at each global step, ordered by (round, client id).
+    """
+    if not lengths:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    rounds = np.concatenate(
+        [np.arange(n, dtype=np.int64) for n in lengths]
+    )
+    clients = np.concatenate(
+        [np.full(n, c, dtype=np.int64) for c, n in enumerate(lengths)]
+    )
+    order = np.lexsort((clients, rounds))
+    return clients[order], rounds[order]
+
+
+def simulate(
+    streams: dict[int, np.ndarray],
+    hierarchy: CacheHierarchy,
+    filesystem: ParallelFileSystem,
+    latency: LatencyModel | None = None,
+    sync_counts: dict[int, int] | None = None,
+    iterations_per_client: dict[int, int] | None = None,
+    write_masks: dict[int, np.ndarray] | None = None,
+    prefetch_degree: int = 0,
+    num_data_chunks: int | None = None,
+) -> SimulationResult:
+    """Run the interleaved simulation; caches/disks are reset first.
+
+    Parameters
+    ----------
+    streams:
+        Per-client chunk-access streams (client ids must be 0..k-1).
+    sync_counts:
+        Optional per-client inter-processor synchronisation counts; each
+        charges :attr:`LatencyModel.sync_stall_ms` of stall.
+    iterations_per_client:
+        Iteration counts for compute time; defaults to stream length
+        divided by the (assumed uniform) per-iteration access count.
+    write_masks:
+        Optional per-client boolean vectors (aligned with ``streams``)
+        marking write requests.  Enables write-back accounting: a write
+        dirties the chunk in the private cache; evicting a dirty chunk
+        propagates the dirt down the path and, past the last level,
+        pays a disk write (charged to the client whose fill triggered
+        the eviction — a deliberate simplification).
+    prefetch_degree:
+        Sequential prefetch at the storage-node caches: a disk read of
+        chunk ``c`` also stages the next ``prefetch_degree`` chunks of
+        the same disk into the bottom cache, charging the disk but not
+        the client (asynchronous read-ahead, cf. the related work's
+        sequential prefetchers).
+    num_data_chunks:
+        Upper bound for prefetch targets (the data space size); without
+        it the prefetcher stops at the largest chunk id seen in the
+        streams.
+    """
+    latency = latency or LatencyModel()
+    k = hierarchy.num_clients
+    ids = sorted(streams)
+    if ids != list(range(k)):
+        raise ValueError(f"streams must cover clients 0..{k - 1}, got {ids}")
+    num_levels = hierarchy.num_levels
+    if len(latency.level_ms) != num_levels:
+        raise ValueError(
+            f"latency model has {len(latency.level_ms)} levels, hierarchy has {num_levels}"
+        )
+    if prefetch_degree < 0:
+        raise ValueError("prefetch_degree must be non-negative")
+    if write_masks is not None:
+        for c in range(k):
+            if len(write_masks.get(c, ())) != len(streams[c]):
+                raise ValueError(f"write mask of client {c} misaligned")
+    hierarchy.reset()
+    filesystem.reset()
+
+    paths = [hierarchy.path(c) for c in range(k)]
+    hit_cost = [latency.hit_cost(l) for l in range(num_levels)]
+    miss_base = hit_cost[-1]  # all levels probed before going to disk
+    stride = filesystem.num_storage_nodes  # next block on the same disk
+    if num_data_chunks is not None:
+        max_chunk = num_data_chunks - 1
+    else:
+        max_chunk = max(
+            (int(s.max()) for s in streams.values() if len(s)), default=0
+        )
+
+    client_list, pos_list = interleave_order([len(streams[c]) for c in range(k)])
+    # Python-level hot loop: pre-extract to lists for speed.
+    stream_lists = [streams[c].tolist() for c in range(k)]
+    mask_lists = (
+        [list(map(bool, write_masks[c])) for c in range(k)]
+        if write_masks is not None
+        else None
+    )
+    io_ms = np.zeros(k, dtype=np.float64)
+    # Dirty chunk sets, one per cache object (write-back bookkeeping).
+    dirty: dict[int, set] = {}
+    if mask_lists is not None:
+        for c in range(k):
+            for cache in paths[c]:
+                dirty.setdefault(id(cache), set())
+
+    def evict_writeback(c: int, level: int, victim: int) -> None:
+        """Propagate a dirty eviction down the path from ``level``."""
+        path = paths[c]
+        cache_dirty = dirty[id(path[level])]
+        if victim not in cache_dirty:
+            return
+        cache_dirty.discard(victim)
+        for lower in range(level + 1, num_levels):
+            lower_cache = path[lower]
+            if lower_cache.contains(victim):
+                dirty[id(lower_cache)].add(victim)
+                return
+        io_ms[c] += filesystem.write_chunk(victim)
+
+    fs_read = filesystem.read_chunk
+    seen: set = set()
+    for c, p in zip(client_list.tolist(), pos_list.tolist()):
+        chunk = stream_lists[c][p]
+        cold = chunk not in seen
+        if cold:
+            seen.add(chunk)
+        path = paths[c]
+        level = 0
+        hit_level = -1
+        for cache in path:
+            if cache.lookup(chunk, cold=cold):
+                hit_level = level
+                break
+            level += 1
+        if hit_level >= 0:
+            io_ms[c] += hit_cost[hit_level]
+            fill_to = hit_level
+        else:
+            io_ms[c] += miss_base + fs_read(chunk)
+            fill_to = num_levels
+            if prefetch_degree:
+                bottom = path[-1]
+                for ahead in range(1, prefetch_degree + 1):
+                    nxt = chunk + ahead * stride
+                    if nxt > max_chunk or bottom.contains(nxt):
+                        continue
+                    filesystem.read_chunk(nxt)  # disk busy, no client stall
+                    victim = bottom.fill(nxt)
+                    if victim is not None and mask_lists is not None:
+                        evict_writeback(c, num_levels - 1, victim)
+        # Inclusive fill of every level that missed.
+        for l in range(fill_to):
+            victim = path[l].fill(chunk)
+            if victim is not None and mask_lists is not None:
+                evict_writeback(c, l, victim)
+        if mask_lists is not None and mask_lists[c][p]:
+            dirty[id(path[0])].add(chunk)
+
+    # Compute time: per-iteration cost.
+    compute_ms = np.zeros(k, dtype=np.float64)
+    if iterations_per_client:
+        for c, n in iterations_per_client.items():
+            compute_ms[c] = n * latency.compute_ms_per_iteration
+
+    sync_ms = np.zeros(k, dtype=np.float64)
+    if sync_counts:
+        for c, n in sync_counts.items():
+            sync_ms[c] = n * latency.sync_stall_ms
+
+    level_stats = {}
+    for name in hierarchy.level_names():
+        agg = None
+        for cache in hierarchy.caches_at_level(name):
+            agg = cache.stats if agg is None else agg.merge(cache.stats)
+        level_stats[name] = agg
+
+    return SimulationResult(
+        per_client_io_ms=io_ms,
+        per_client_compute_ms=compute_ms,
+        per_client_sync_ms=sync_ms,
+        level_stats=level_stats,
+        disk_reads=filesystem.total_disk_reads(),
+        disk_busy_ms=filesystem.total_busy_ms(),
+        disk_writes=filesystem.total_disk_writes(),
+    )

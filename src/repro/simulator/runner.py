@@ -1,0 +1,108 @@
+"""End-to-end experiment driver: (workload, config, version) → result.
+
+The three versions of §5.1 plus the §5.4 scheduling enhancement:
+
+* ``original``     — lexicographic blocked assignment;
+* ``intra``        — locality-transformed (permutation+tiling) blocked;
+* ``inter``        — Fig. 5 distribution, random chunk order;
+* ``inter+sched``  — Fig. 5 distribution + Fig. 15 scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.baselines import IntraProcessorMapper, OriginalMapper
+from repro.core.mapper import InterProcessorMapper
+from repro.simulator.engine import simulate
+from repro.simulator.metrics import ExperimentResult
+from repro.simulator.streams import (
+    build_client_streams,
+    build_client_streams_with_writes,
+)
+from repro.storage.filesystem import ParallelFileSystem
+from repro.util.rng import derive_seed, make_rng
+from repro.workloads.base import Workload, WorkloadParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import SystemConfig
+
+__all__ = ["VERSIONS", "make_mapper", "run_experiment"]
+
+VERSIONS = ("original", "intra", "inter", "inter+sched")
+
+
+def make_mapper(version: str, config: "SystemConfig"):
+    """Instantiate the mapper for a version name."""
+    if version == "original":
+        return OriginalMapper()
+    if version == "intra":
+        return IntraProcessorMapper()
+    if version == "inter":
+        return InterProcessorMapper(
+            balance_threshold=config.balance_threshold, schedule=False
+        )
+    if version == "inter+sched":
+        return InterProcessorMapper(
+            balance_threshold=config.balance_threshold,
+            schedule=True,
+            alpha=config.alpha,
+            beta=config.beta,
+        )
+    raise ValueError(f"unknown version {version!r}; choose from {VERSIONS}")
+
+
+def run_experiment(
+    workload: Workload,
+    config: "SystemConfig",
+    version: str,
+    sync_counts: dict[int, int] | None = None,
+) -> ExperimentResult:
+    """Map and simulate one workload under one version.
+
+    All eight suite workloads are mapped as fully parallel iteration
+    sets (paper §3 — parallelization is orthogonal); the §5.4
+    dependence experiments pass explicit ``sync_counts``.
+    """
+    params = WorkloadParams(
+        chunk_elems=config.chunk_elems, data_chunks=config.data_chunks
+    )
+    nest, data_space = workload.build(params)
+    hierarchy = config.build_hierarchy()
+    filesystem = ParallelFileSystem(
+        config.num_storage_nodes,
+        chunk_bytes=config.chunk_elems * 1024,  # 1 element == 1 KB
+        disk_params=config.disk,
+    )
+    mapper = make_mapper(version, config)
+    rng = make_rng(derive_seed(config.seed, workload.name, version))
+    mapping = mapper.map(nest, data_space, hierarchy, rng)
+    mapping.validate(nest.num_iterations)
+
+    if config.writeback:
+        streams, write_masks = build_client_streams_with_writes(
+            mapping, nest, data_space
+        )
+    else:
+        streams = build_client_streams(mapping, nest, data_space)
+        write_masks = None
+    sim = simulate(
+        streams,
+        hierarchy,
+        filesystem,
+        latency=config.latency,
+        sync_counts=sync_counts,
+        iterations_per_client=mapping.iteration_counts(),
+        write_masks=write_masks,
+        prefetch_degree=config.prefetch_degree,
+        num_data_chunks=data_space.num_chunks,
+    )
+    return ExperimentResult(
+        workload=workload.name,
+        version=version,
+        sim=sim,
+        mapping_time_s=mapping.mapping_time_s,
+        extra={"imbalance": mapping.imbalance()},
+    )

@@ -1,0 +1,98 @@
+"""Serialization of streams and experiment results.
+
+Request traces save to ``.npz`` (compact, loss-free) so expensive stream
+generation can be cached or shipped to other tools; experiment results
+export to plain dictionaries / JSON for the harness and notebooks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.simulator.metrics import ExperimentResult, SimulationResult
+
+__all__ = [
+    "save_streams",
+    "load_streams",
+    "result_to_dict",
+    "save_results_json",
+    "load_results_json",
+]
+
+_CLIENT_PREFIX = "client_"
+
+
+def save_streams(path: str | pathlib.Path, streams: dict[int, np.ndarray]) -> None:
+    """Save per-client request streams to a compressed ``.npz`` file."""
+    arrays = {
+        f"{_CLIENT_PREFIX}{c}": np.asarray(s, dtype=np.int64)
+        for c, s in streams.items()
+    }
+    np.savez_compressed(path, **arrays)
+
+
+def load_streams(path: str | pathlib.Path) -> dict[int, np.ndarray]:
+    """Load streams saved by :func:`save_streams`."""
+    with np.load(path) as data:
+        out: dict[int, np.ndarray] = {}
+        for key in data.files:
+            if not key.startswith(_CLIENT_PREFIX):
+                raise ValueError(f"unexpected array {key!r} in stream file")
+            out[int(key[len(_CLIENT_PREFIX) :])] = data[key]
+    return out
+
+
+def _sim_to_dict(sim: SimulationResult) -> dict[str, Any]:
+    return {
+        "per_client_io_ms": sim.per_client_io_ms.tolist(),
+        "per_client_compute_ms": sim.per_client_compute_ms.tolist(),
+        "per_client_sync_ms": sim.per_client_sync_ms.tolist(),
+        "levels": {
+            name: {
+                "accesses": st.accesses,
+                "hits": st.hits,
+                "misses": st.misses,
+                "cold_misses": st.cold_misses,
+                "fills": st.fills,
+                "evictions": st.evictions,
+            }
+            for name, st in sim.level_stats.items()
+        },
+        "disk_reads": sim.disk_reads,
+        "disk_writes": sim.disk_writes,
+        "disk_busy_ms": sim.disk_busy_ms,
+        "io_latency_ms": sim.io_latency_ms,
+        "execution_time_ms": sim.execution_time_ms,
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Flatten one experiment result into a JSON-safe dictionary."""
+    return {
+        "workload": result.workload,
+        "version": result.version,
+        "mapping_time_s": result.mapping_time_s,
+        "extra": dict(result.extra),
+        "sim": _sim_to_dict(result.sim),
+    }
+
+
+def save_results_json(
+    path: str | pathlib.Path,
+    results: dict[str, dict[str, ExperimentResult]],
+) -> None:
+    """Save a ``run_suite``-shaped result tree as JSON."""
+    payload = {
+        workload: {v: result_to_dict(r) for v, r in per_version.items()}
+        for workload, per_version in results.items()
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_results_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load a result tree saved by :func:`save_results_json` (plain dicts)."""
+    return json.loads(pathlib.Path(path).read_text())

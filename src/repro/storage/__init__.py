@@ -1,0 +1,19 @@
+"""Disk and parallel-file-system substrate (paper §5.1).
+
+The paper's platform stripes file data over 16 storage nodes (PVFS,
+stripe size 64 KB == one data chunk) behind the storage-node caches.
+We model: an analytic disk (seek + rotation at 10 000 RPM + transfer),
+round-robin striping, and a PVFS-lite file system mapping global data
+chunks to storage nodes and disk addresses.
+"""
+
+from repro.storage.disk import DiskModel, DiskParameters
+from repro.storage.striping import StripingLayout
+from repro.storage.filesystem import ParallelFileSystem
+
+__all__ = [
+    "DiskModel",
+    "DiskParameters",
+    "StripingLayout",
+    "ParallelFileSystem",
+]

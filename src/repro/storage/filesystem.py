@@ -1,0 +1,72 @@
+"""PVFS-lite: the parallel file system behind the storage-node caches.
+
+Combines a :class:`~repro.storage.striping.StripingLayout` with one
+:class:`~repro.storage.disk.DiskModel` per storage node.  A chunk miss
+that falls through every cache level is served here:
+``read_chunk(chunk_id)`` charges the owning node's disk and returns the
+latency in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.disk import DiskModel, DiskParameters
+from repro.storage.striping import StripingLayout
+from repro.util.validation import check_positive
+
+__all__ = ["ParallelFileSystem"]
+
+
+class ParallelFileSystem:
+    """Striped chunk store over per-storage-node disks."""
+
+    __slots__ = ("layout", "disks", "chunk_bytes")
+
+    def __init__(
+        self,
+        num_storage_nodes: int,
+        chunk_bytes: int = 64 * 1024,
+        disk_params: DiskParameters | None = None,
+    ):
+        self.chunk_bytes = check_positive("chunk_bytes", chunk_bytes)
+        self.layout = StripingLayout(num_storage_nodes, stripe_bytes=chunk_bytes)
+        self.disks = [DiskModel(disk_params) for _ in range(num_storage_nodes)]
+
+    @property
+    def num_storage_nodes(self) -> int:
+        return self.layout.num_storage_nodes
+
+    def read_chunk(self, chunk_id: int) -> float:
+        """Serve one chunk from its disk; returns latency in ms."""
+        node = int(self.layout.storage_node_of(chunk_id))
+        block = int(self.layout.block_address_of(chunk_id))
+        return self.disks[node].read_chunk(block, self.chunk_bytes)
+
+    def write_chunk(self, chunk_id: int) -> float:
+        """Write one chunk back to its disk; returns latency in ms."""
+        node = int(self.layout.storage_node_of(chunk_id))
+        block = int(self.layout.block_address_of(chunk_id))
+        return self.disks[node].write_chunk(block, self.chunk_bytes)
+
+    def storage_node_of(self, chunk_ids: np.ndarray | int) -> np.ndarray | int:
+        return self.layout.storage_node_of(chunk_ids)
+
+    def total_disk_reads(self) -> int:
+        return sum(d.reads for d in self.disks)
+
+    def total_disk_writes(self) -> int:
+        return sum(d.writes for d in self.disks)
+
+    def total_busy_ms(self) -> float:
+        return sum(d.busy_ms for d in self.disks)
+
+    def reset(self) -> None:
+        for d in self.disks:
+            d.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelFileSystem(nodes={self.num_storage_nodes}, "
+            f"chunk={self.chunk_bytes}B, reads={self.total_disk_reads()})"
+        )

@@ -1,0 +1,261 @@
+"""Tag bit-vectors and cluster signatures (paper §4.2-4.3).
+
+The paper assigns every loop iteration an *r*-bit tag ``Λ = λ0 λ1 … λ(r-1)``
+where bit *k* is set iff the iteration touches data chunk ``π_k``.  Two
+derived quantities drive the whole mapping algorithm:
+
+* the **dot product** ``Λi • Λj`` — for 0/1 tags this equals
+  ``popcount(Λi AND Λj)``, the number of data chunks the two tags share
+  (the edge weight of the affinity graph, Fig. 5);
+* the **bitwise sum** of the tags in a cluster — the cluster's
+  *signature*.  Signatures are integer count vectors, so the dot product
+  between signatures weighs chunks by how many member tags touch them.
+
+Tags are sparse in practice (an iteration touches a handful of chunks out
+of thousands), so :class:`Tag` stores the set of set-bit indices and the
+universe size ``r``.  :class:`Signature` is a dense ``int64`` vector for
+vectorised dot products; the clustering loop manipulates only a few dozen
+signatures at a time, so dense storage is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Tag", "Signature", "popcount", "hamming_distance"]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in an arbitrary-precision Python integer."""
+    return int(mask).bit_count()
+
+
+def hamming_distance(a: "Tag", b: "Tag") -> int:
+    """Number of bit positions where two tags differ (paper §4.2)."""
+    if a.nbits != b.nbits:
+        raise ValueError(f"tag widths differ: {a.nbits} != {b.nbits}")
+    return len(a.chunks.symmetric_difference(b.chunks))
+
+
+class Tag:
+    """An immutable *r*-bit data-chunk access tag.
+
+    Parameters
+    ----------
+    chunks:
+        Indices of the data chunks the tagged iteration(s) access,
+        i.e. the positions of the set bits.
+    nbits:
+        The tag width *r* (total number of data chunks in the data space).
+    """
+
+    __slots__ = ("chunks", "nbits", "_hash")
+
+    def __init__(self, chunks: Iterable[int], nbits: int):
+        chunkset = frozenset(int(c) for c in chunks)
+        if nbits <= 0:
+            raise ValueError(f"tag width must be positive, got {nbits}")
+        for c in chunkset:
+            if not 0 <= c < nbits:
+                raise ValueError(f"chunk index {c} outside [0, {nbits})")
+        object.__setattr__(self, "chunks", chunkset)
+        object.__setattr__(self, "nbits", int(nbits))
+        object.__setattr__(self, "_hash", hash((chunkset, int(nbits))))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Tag is immutable")
+
+    # -- classic representations -------------------------------------------------
+
+    @classmethod
+    def from_mask(cls, mask: int, nbits: int) -> "Tag":
+        """Build a tag from a Python-int bitmask (bit k == chunk k)."""
+        if mask < 0:
+            raise ValueError("mask must be non-negative")
+        if mask >> nbits:
+            raise ValueError(f"mask has bits above width {nbits}")
+        chunks = []
+        k = 0
+        m = mask
+        while m:
+            if m & 1:
+                chunks.append(k)
+            m >>= 1
+            k += 1
+        return cls(chunks, nbits)
+
+    @classmethod
+    def from_bitstring(cls, bits: str) -> "Tag":
+        """Build a tag from the paper's literal notation, e.g. ``"101010000000"``.
+
+        The leftmost character is ``λ0`` (chunk 0), matching Fig. 8.
+        """
+        if not bits or any(ch not in "01" for ch in bits):
+            raise ValueError(f"not a bitstring: {bits!r}")
+        return cls((k for k, ch in enumerate(bits) if ch == "1"), len(bits))
+
+    @property
+    def mask(self) -> int:
+        """The tag as a Python-int bitmask (bit k == chunk k)."""
+        m = 0
+        for c in self.chunks:
+            m |= 1 << c
+        return m
+
+    def to_bitstring(self) -> str:
+        """Render in the paper's ``λ0 λ1 …`` left-to-right notation."""
+        return "".join("1" if k in self.chunks else "0" for k in range(self.nbits))
+
+    def to_vector(self) -> np.ndarray:
+        """Dense 0/1 ``int64`` vector of length ``nbits``."""
+        v = np.zeros(self.nbits, dtype=np.int64)
+        if self.chunks:
+            v[np.fromiter(self.chunks, dtype=np.int64)] = 1
+        return v
+
+    # -- algebra -----------------------------------------------------------------
+
+    def dot(self, other: "Tag") -> int:
+        """``Λi • Λj`` = number of common set bits = popcount(AND)."""
+        if self.nbits != other.nbits:
+            raise ValueError(f"tag widths differ: {self.nbits} != {other.nbits}")
+        small, large = (
+            (self.chunks, other.chunks)
+            if len(self.chunks) <= len(other.chunks)
+            else (other.chunks, self.chunks)
+        )
+        return sum(1 for c in small if c in large)
+
+    def hamming(self, other: "Tag") -> int:
+        return hamming_distance(self, other)
+
+    def union(self, other: "Tag") -> "Tag":
+        if self.nbits != other.nbits:
+            raise ValueError(f"tag widths differ: {self.nbits} != {other.nbits}")
+        return Tag(self.chunks | other.chunks, self.nbits)
+
+    def intersection(self, other: "Tag") -> "Tag":
+        if self.nbits != other.nbits:
+            raise ValueError(f"tag widths differ: {self.nbits} != {other.nbits}")
+        return Tag(self.chunks & other.chunks, self.nbits)
+
+    def popcount(self) -> int:
+        """Number of distinct data chunks this tag touches."""
+        return len(self.chunks)
+
+    def signature(self) -> "Signature":
+        """Promote to a count-vector signature (each set bit counts once)."""
+        return Signature(self.to_vector())
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Tag)
+            and self.nbits == other.nbits
+            and self.chunks == other.chunks
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return self.nbits
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self.chunks))
+
+    def __contains__(self, chunk: int) -> bool:
+        return chunk in self.chunks
+
+    def __repr__(self) -> str:
+        if self.nbits <= 32:
+            return f"Tag({self.to_bitstring()!r})"
+        return f"Tag(nbits={self.nbits}, chunks={sorted(self.chunks)!r})"
+
+
+class Signature:
+    """A cluster signature: the element-wise ("bitwise") sum of member tags.
+
+    The paper's clustering stage merges the pair of clusters whose
+    signatures maximise the dot product ``αp • αq`` (Fig. 5, Stage 1).
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: np.ndarray):
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 1:
+            raise ValueError("signature must be a 1-D count vector")
+        if (counts < 0).any():
+            raise ValueError("signature counts must be non-negative")
+        self.counts = counts
+
+    @classmethod
+    def zeros(cls, nbits: int) -> "Signature":
+        return cls(np.zeros(nbits, dtype=np.int64))
+
+    @classmethod
+    def from_tags(cls, tags: Iterable[Tag], nbits: int) -> "Signature":
+        sig = np.zeros(nbits, dtype=np.int64)
+        for tag in tags:
+            if tag.nbits != nbits:
+                raise ValueError(f"tag width {tag.nbits} != signature width {nbits}")
+            for c in tag.chunks:
+                sig[c] += 1
+        return cls(sig)
+
+    @property
+    def nbits(self) -> int:
+        return int(self.counts.shape[0])
+
+    def dot(self, other: "Signature | Tag") -> int:
+        if isinstance(other, Tag):
+            if other.nbits != self.nbits:
+                raise ValueError("width mismatch")
+            if not other.chunks:
+                return 0
+            idx = np.fromiter(other.chunks, dtype=np.int64)
+            return int(self.counts[idx].sum())
+        if other.nbits != self.nbits:
+            raise ValueError("width mismatch")
+        return int(np.dot(self.counts, other.counts))
+
+    def add(self, other: "Signature | Tag") -> "Signature":
+        """Return a new signature with ``other`` accumulated in."""
+        if isinstance(other, Tag):
+            other = other.signature()
+        if other.nbits != self.nbits:
+            raise ValueError("width mismatch")
+        return Signature(self.counts + other.counts)
+
+    def subtract(self, other: "Signature | Tag") -> "Signature":
+        if isinstance(other, Tag):
+            other = other.signature()
+        if other.nbits != self.nbits:
+            raise ValueError("width mismatch")
+        out = self.counts - other.counts
+        if (out < 0).any():
+            raise ValueError("signature subtraction went negative")
+        return Signature(out)
+
+    def support(self) -> Tag:
+        """The OR of member tags: which chunks the cluster touches at all."""
+        return Tag(np.flatnonzero(self.counts).tolist(), self.nbits)
+
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def copy(self) -> "Signature":
+        return Signature(self.counts.copy())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Signature) and np.array_equal(self.counts, other.counts)
+
+    def __repr__(self) -> str:
+        nz = np.flatnonzero(self.counts)
+        pairs = {int(k): int(self.counts[k]) for k in nz[:16]}
+        suffix = "…" if len(nz) > 16 else ""
+        return f"Signature(nbits={self.nbits}, {pairs}{suffix})"

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module owns the formatting so every experiment
+renders identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_percent", "format_ratio"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string, e.g. ``0.263 -> '26.3%'``."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_ratio(value: float, digits: int = 3) -> str:
+    """Render a normalized ratio, e.g. ``0.737``."""
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    ncols = max(len(r) for r in cells)
+    for r in cells:
+        r.extend([""] * (ncols - len(r)))
+    widths = [max(len(r[j]) for r in cells) for j in range(ncols)]
+
+    def fmt_row(r: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""The eight I/O-intensive application workloads (paper Table 2).
+
+The paper evaluates hf, sar, contour, astro, e_elem, apsi, madbench2 and
+wupwise — proprietary / out-of-core codes with 189-422 GB datasets we
+cannot obtain.  Each is substituted by a synthetic loop-nest model whose
+*access-pattern style* matches the application's published character
+(see :mod:`repro.workloads.suite`), scaled down with dataset:cache
+ratios preserved (DESIGN.md §2).
+"""
+
+from repro.workloads.base import Workload, WorkloadParams
+from repro.workloads.suite import SUITE, get_workload, workload_names
+from repro.workloads.paper_example import figure6_workload, figure7_hierarchy
+
+__all__ = [
+    "Workload",
+    "WorkloadParams",
+    "SUITE",
+    "get_workload",
+    "workload_names",
+    "figure6_workload",
+    "figure7_hierarchy",
+]

@@ -1,0 +1,59 @@
+"""Workload abstraction: a named builder of (loop nest, data space)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.polyhedral.arrays import DataSpace
+from repro.polyhedral.nest import LoopNest
+from repro.util.validation import check_positive
+
+__all__ = ["WorkloadParams", "Workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Scale knobs shared by every workload.
+
+    ``chunk_elems`` is the data chunk size in elements (the scaled
+    analogue of the paper's 64 KB chunk: one element stands for one
+    1 KB block, so 64 elements == 64 KB).  ``data_chunks`` is the target
+    total data-space size in chunks; builders size their arrays so the
+    combined data space lands close to it regardless of chunk size —
+    mirroring the paper, whose dataset sizes are fixed in bytes while
+    Fig. 14 varies the chunk size.
+    """
+
+    chunk_elems: int = 64
+    data_chunks: int = 1024
+
+    def __post_init__(self):
+        check_positive("chunk_elems", self.chunk_elems)
+        check_positive("data_chunks", self.data_chunks)
+
+    @property
+    def data_elems(self) -> int:
+        """Total elements the workload should spread over its arrays."""
+        return self.chunk_elems * self.data_chunks
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One application model of the experimental suite."""
+
+    name: str
+    description: str
+    builder: Callable[[WorkloadParams], tuple[LoopNest, DataSpace]]
+    #: Table 2's (L1, L2, L3) miss rates of the paper's original version,
+    #: in percent — reported alongside our measurements, never asserted.
+    paper_miss_rates: tuple[float, float, float]
+
+    def build(self, params: WorkloadParams) -> tuple[LoopNest, DataSpace]:
+        nest, ds = self.builder(params)
+        if nest.num_iterations <= 0:
+            raise ValueError(f"workload {self.name} built an empty nest")
+        return nest, ds
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r})"

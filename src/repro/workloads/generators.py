@@ -1,0 +1,319 @@
+"""Reusable access-pattern builders for the synthetic workload suite.
+
+Each generator returns a ``(LoopNest, DataSpace)`` pair parameterised by
+the chunk size, mirroring one family of out-of-core access behaviour:
+
+* :func:`strided_1d` — Fig. 6-style multi-stride sweeps over a 1-D
+  disk-resident array, optionally with a wrap-around (modulo) reference;
+* :func:`stencil_2d` — relaxation-style neighbour stencils;
+* :func:`blocked_transpose` — blocked ``A[i,j] / A^T`` sweeps (4-deep
+  nests whose block coordinates keep tags coarse);
+* :func:`modular_gather` — strided gathers ``A[(f·i) mod P]`` with a
+  small hot table;
+* :func:`planes_2d` — plane sweeps with a half-rotated second plane.
+
+The iteration counts and tag counts scale with the data-space size in
+chunks, keeping the mapping algorithm and the simulator tractable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+from repro.util.validation import check_positive
+
+
+#: Distance unit for workload-intrinsic strides/windows, in elements.
+#: Applications are defined in element space (a stride of "2 units" is
+#: 128 elements ~ 128 KB) so that changing the analysis chunk size
+#: (Fig. 14) changes *tag granularity only*, never the application.
+STRIDE_UNIT = 64
+
+__all__ = [
+    "STRIDE_UNIT",
+    "strided_1d",
+    "stencil_2d",
+    "blocked_transpose",
+    "modular_gather",
+    "planes_2d",
+]
+
+
+def strided_1d(
+    name: str,
+    num_chunks: int,
+    chunk_elems: int,
+    stride_chunks: tuple[int, ...] = (0, 2, 4),
+    mod_window_chunks: int | None = 1,
+    second_array_chunks: int = 0,
+    sweeps: int = 1,
+    rotate_chunks: int = 0,
+    write_first: bool = True,
+) -> tuple[LoopNest, DataSpace]:
+    """Multi-stride 1-D sweep (the paper's Fig. 6 shape), repeated.
+
+    ``for t in [0, sweeps): for i: A[i+s0*d], A[i+s1*d], …``, optionally
+    plus a per-sweep-rotated partner ``A[(i + t·rot·d) % P]`` (the
+    out-of-core revisit: every sweep pairs each element with a different
+    far-away region), a wrap-around window ``A[i % (w*d)]`` and a second
+    array ``B[i % |B|]``.
+    """
+    d = check_positive("chunk_elems", chunk_elems)
+    m = check_positive("num_chunks", num_chunks)
+    check_positive("sweeps", sweeps)
+    if not stride_chunks:
+        raise ValueError("need at least one stride")
+    u = STRIDE_UNIT
+    max_stride = max(stride_chunks)
+    min_stride = min(stride_chunks)
+    P = m * d
+    if P <= (max_stride - min(0, min_stride)) * u:
+        raise ValueError("array too small for the stride span")
+    arrays = [DiskArray("A", (P,))]
+    if second_array_chunks:
+        arrays.append(DiskArray("B", (second_array_chunks * u,)))
+    ds = DataSpace(arrays, d)
+
+    lo = max(0, -min_stride) * u
+    n_iters = P - max_stride * u - lo
+    depth = 2 if sweeps > 1 else 1
+    icoef = [0, 1] if depth == 2 else [1]
+
+    def expr(const: int = 0, modulus: int | None = None, tcoef: int = 0):
+        coeffs = list(icoef)
+        if depth == 2:
+            coeffs[0] = tcoef
+        return AffineExpr(coeffs, const, modulus)
+
+    if depth == 2:
+        space = IterationSpace([(0, sweeps - 1), (lo, lo + n_iters - 1)])
+    else:
+        space = IterationSpace([(lo, lo + n_iters - 1)])
+    refs = [
+        ArrayRef("A", [expr(s * u)], is_write=(write_first and k == 0))
+        for k, s in enumerate(stride_chunks)
+    ]
+    if rotate_chunks and depth == 2:
+        refs.append(ArrayRef("A", [expr(0, modulus=P, tcoef=rotate_chunks * u)]))
+    if mod_window_chunks:
+        refs.append(ArrayRef("A", [expr(0, modulus=mod_window_chunks * u)]))
+    if second_array_chunks:
+        refs.append(ArrayRef("B", [expr(0, modulus=second_array_chunks * u)]))
+    return LoopNest(name, space, refs), ds
+
+
+def stencil_2d(
+    name: str,
+    rows: int,
+    cols_chunks: int,
+    chunk_elems: int,
+    offsets: tuple[tuple[int, int], ...] = ((0, 0), (-1, 0), (1, 0), (0, 1)),
+    sweeps: int = 1,
+    row_rotate: int = 0,
+    writes_center: bool = True,
+) -> tuple[LoopNest, DataSpace]:
+    """Neighbour stencil over a row-major 2-D array, repeated.
+
+    Rows span ``cols_chunks`` whole data chunks so row identity decides
+    chunk identity; the stencil shares chunks across adjacent rows.
+    ``sweeps > 1`` adds an outer repetition loop and ``row_rotate`` makes
+    each sweep start ``row_rotate`` rows lower (wavefront relaxation).
+    """
+    d = check_positive("chunk_elems", chunk_elems)
+    rows = check_positive("rows", rows)
+    check_positive("sweeps", sweeps)
+    cols = check_positive("cols_chunks", cols_chunks) * STRIDE_UNIT
+    ds = DataSpace([DiskArray("A", (rows, cols))], d)
+
+    max_di = max(abs(di) for di, _ in offsets)
+    max_dj = max(dj for _, dj in offsets)
+    min_dj = min(dj for _, dj in offsets)
+    col_lo, col_hi = max(0, -min_dj), cols - 1 - max(0, max_dj)
+    depth = 3 if sweeps > 1 else 2
+
+    def row_expr(di: int):
+        if depth == 3:
+            # Periodic rows: (t·rotate + i + di) mod rows — every sweep
+            # starts ``row_rotate`` rows lower, stencil wraps at the edges.
+            return AffineExpr([row_rotate, 1, 0], di, modulus=rows)
+        return AffineExpr([1, 0], di)
+
+    def col_expr(dj: int):
+        return AffineExpr([0, 0, 1], dj) if depth == 3 else AffineExpr([0, 1], dj)
+
+    if depth == 3:
+        space = IterationSpace([(0, sweeps - 1), (0, rows - 1), (col_lo, col_hi)])
+    else:
+        space = IterationSpace([(max_di, rows - 1 - max_di), (col_lo, col_hi)])
+    refs = [
+        ArrayRef(
+            "A",
+            [row_expr(di), col_expr(dj)],
+            is_write=(writes_center and di == 0 and dj == 0),
+        )
+        for di, dj in offsets
+    ]
+    return LoopNest(name, space, refs), ds
+
+
+def blocked_transpose(
+    name: str,
+    n_chunks_per_dim: int,
+    chunk_elems: int,
+    rotate_cols: bool = False,
+    writes: bool = True,
+    revisit_rows: int = 0,
+) -> tuple[LoopNest, DataSpace]:
+    """Blocked ``A[i,j]`` + transposed-block access over an n×n array.
+
+    The nest is 4-deep — ``(i1, i2, j1, j2)`` with ``i = i1·d + i2`` and
+    ``j = j1·d + j2`` — so the transposed reference swaps *block*
+    coordinates (``A[j1·d + i2, i1·d + j2]``) and stays affine while tags
+    stay coarse (one tag per block pair).  ``rotate_cols`` adds a
+    half-rotated column reference (madbench2-style sweep).
+    """
+    d = check_positive("chunk_elems", chunk_elems)
+    nb = check_positive("n_chunks_per_dim", n_chunks_per_dim)
+    u = STRIDE_UNIT  # the application's blocking factor, chunk-size independent
+    n = nb * u
+    ds = DataSpace([DiskArray("A", (n, n))], d)
+
+    space = IterationSpace([(0, nb - 1), (0, u - 1), (0, nb - 1), (0, u - 1)])
+    # i = u*i1 + i2 ; j = u*j1 + j2
+    row = AffineExpr([u, 1, 0, 0])
+    col = AffineExpr([0, 0, u, 1])
+    t_row = AffineExpr([0, 1, u, 0])  # u*j1 + i2
+    t_col = AffineExpr([u, 0, 0, 1])  # u*i1 + j2
+    refs = [
+        ArrayRef("A", [row, col], is_write=writes),
+        ArrayRef("A", [t_row, t_col]),
+    ]
+    if rotate_cols:
+        rot = AffineExpr([0, 0, u, 1], n // 2, modulus=n)
+        refs.append(ArrayRef("A", [row, rot]))
+    if revisit_rows:
+        # Mid-range temporal revisit: the element row touched
+        # revisit_rows i2-steps ago (same block row, earlier sub-row).
+        back = AffineExpr([u, 1, 0, 0], -revisit_rows, modulus=n)
+        refs.append(ArrayRef("A", [back, col]))
+    return LoopNest(name, space, refs), ds
+
+
+def modular_gather(
+    name: str,
+    num_chunks: int,
+    chunk_elems: int,
+    factor: int = 3,
+    table_chunks: int = 4,
+    sweeps: int = 1,
+    rotate_chunks: int = 0,
+    revisit_chunks: int = 0,
+) -> tuple[LoopNest, DataSpace]:
+    """Strided gather ``A[i], A[(f·i + t·rot·d) % P], B[i % |B|]`` (FEM-style).
+
+    The gather stride scatters accesses across the array; per-sweep
+    rotation makes each pass gather from shifted positions.
+    """
+    d = check_positive("chunk_elems", chunk_elems)
+    m = check_positive("num_chunks", num_chunks)
+    check_positive("factor", factor)
+    check_positive("sweeps", sweeps)
+    u = STRIDE_UNIT
+    P = m * d
+    nblocks = P // u
+    ds = DataSpace(
+        [DiskArray("A", (P,)), DiskArray("B", (table_chunks * u,))], d
+    )
+    # Blocked form: i = kb·u + e over fixed u-element blocks, so the
+    # gather lands block-aligned and tags stay coarse.
+    depth = 3 if sweeps > 1 else 2
+
+    def ax(kcoef: int, ecoef: int, const: int = 0, modulus: int | None = None, tcoef: int = 0):
+        coeffs = [tcoef, kcoef, ecoef] if depth == 3 else [kcoef, ecoef]
+        return AffineExpr(coeffs, const, modulus)
+
+    if depth == 3:
+        space = IterationSpace([(0, sweeps - 1), (0, nblocks - 1), (0, u - 1)])
+    else:
+        space = IterationSpace([(0, nblocks - 1), (0, u - 1)])
+    refs = [
+        ArrayRef("A", [ax(u, 1)], is_write=True),
+        ArrayRef(
+            "A",
+            [ax(factor * u, 1, 0, modulus=P, tcoef=rotate_chunks * u)],
+        ),
+        ArrayRef("B", [ax(u, 1, 0, modulus=table_chunks * u)]),
+    ]
+    if revisit_chunks:
+        refs.insert(
+            1, ArrayRef("A", [ax(u, 1, -revisit_chunks * u, modulus=P)])
+        )
+    return LoopNest(name, space, refs), ds
+
+
+def planes_2d(
+    name: str,
+    rows: int,
+    cols_chunks: int,
+    chunk_elems: int,
+    col_shift_chunks: int = 1,
+    sweeps: int = 1,
+    row_rotate: int = 1,
+    revisit_cols_chunks: int = 0,
+) -> tuple[LoopNest, DataSpace]:
+    """Plane sweep: ``A[i,j], A[i,j+s·d], A[(i+t·rot+rows/2)%rows, j], B[j]``.
+
+    Models alternating-direction solvers (apsi-style): a forward plane,
+    a look-ahead column block, and a far-away plane revisited — the
+    revisited plane rotates by ``row_rotate`` rows per sweep so each
+    sweep pairs different planes.
+    """
+    d = check_positive("chunk_elems", chunk_elems)
+    rows = check_positive("rows", rows)
+    check_positive("sweeps", sweeps)
+    cols = check_positive("cols_chunks", cols_chunks) * STRIDE_UNIT
+    shift = col_shift_chunks * STRIDE_UNIT
+    if shift >= cols:
+        raise ValueError("column shift exceeds the row length")
+    ds = DataSpace(
+        [DiskArray("A", (rows, cols)), DiskArray("B", (cols,))], d
+    )
+    depth = 3 if sweeps > 1 else 2
+
+    def ax(coeff_i: int, coeff_j: int, const: int = 0, modulus: int | None = None, tcoef: int = 0):
+        coeffs = [tcoef, coeff_i, coeff_j] if depth == 3 else [coeff_i, coeff_j]
+        return AffineExpr(coeffs, const, modulus)
+
+    if depth == 3:
+        space = IterationSpace(
+            [(0, sweeps - 1), (0, rows - 1), (0, cols - 1 - shift)]
+        )
+    else:
+        space = IterationSpace([(0, rows - 1), (0, cols - 1 - shift)])
+    refs = [
+        ArrayRef("A", [ax(1, 0), ax(0, 1)], is_write=True),
+        ArrayRef("A", [ax(1, 0), ax(0, 1, shift)]),
+        ArrayRef(
+            "A",
+            [
+                ax(1, 0, rows // 2, modulus=rows, tcoef=row_rotate if depth == 3 else 0),
+                ax(0, 1),
+            ],
+        ),
+        ArrayRef("B", [ax(0, 1)]),
+    ]
+    if revisit_cols_chunks:
+        # Mid-range revisit: a column block a few chunks back in this row.
+        refs.insert(
+            3,
+            ArrayRef(
+                "A",
+                [ax(1, 0), ax(0, 1, -revisit_cols_chunks * STRIDE_UNIT, modulus=cols)],
+            ),
+        )
+    return LoopNest(name, space, refs), ds

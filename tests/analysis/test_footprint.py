@@ -1,0 +1,57 @@
+"""Tests for footprint curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.footprint import footprint_curve, mapping_footprints
+from repro.core.baselines import OriginalMapper
+from repro.core.mapper import InterProcessorMapper
+from repro.util.rng import make_rng
+from repro.workloads.paper_example import figure6_workload, figure7_hierarchy
+
+
+class TestFootprintCurve:
+    def test_basic(self):
+        assert footprint_curve(np.array([3, 3, 5, 3, 7])).tolist() == [
+            1,
+            1,
+            2,
+            2,
+            3,
+        ]
+
+    def test_empty(self):
+        assert len(footprint_curve(np.array([], dtype=np.int64))) == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            footprint_curve(np.zeros((2, 2)))
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=50))
+    def test_properties(self, trace):
+        curve = footprint_curve(np.asarray(trace, dtype=np.int64))
+        # Non-decreasing, steps of at most 1, ends at the distinct count.
+        assert curve[0] == 1
+        diffs = np.diff(curve)
+        assert ((diffs == 0) | (diffs == 1)).all()
+        assert curve[-1] == len(set(trace))
+
+
+class TestMappingFootprints:
+    def test_inter_shrinks_total_footprint(self):
+        """Co-locating sharers reduces distinct chunks per client."""
+        nest, ds = figure6_workload(d=16)
+        h = figure7_hierarchy()
+        orig = OriginalMapper().map(nest, ds, h)
+        inter = InterProcessorMapper().map(nest, ds, h, make_rng(0))
+        fp_orig = sum(mapping_footprints(orig, nest, ds).values())
+        fp_inter = sum(mapping_footprints(inter, nest, ds).values())
+        assert fp_inter <= fp_orig
+
+    def test_every_client_reported(self):
+        nest, ds = figure6_workload(d=16)
+        h = figure7_hierarchy()
+        fp = mapping_footprints(OriginalMapper().map(nest, ds, h), nest, ds)
+        assert sorted(fp) == [0, 1, 2, 3]
+        assert all(v > 0 for v in fp.values())

@@ -1,0 +1,69 @@
+"""Tests for sharing matrices and mapping quality."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sharing import (
+    AffinityQuality,
+    mapping_affinity_quality,
+    sharing_matrix,
+)
+from repro.core.baselines import OriginalMapper
+from repro.core.mapper import InterProcessorMapper
+from repro.util.rng import make_rng
+from repro.workloads.paper_example import figure6_workload, figure7_hierarchy
+
+
+@pytest.fixture(scope="module")
+def setup():
+    nest, ds = figure6_workload(d=16)
+    return nest, ds, figure7_hierarchy()
+
+
+class TestSharingMatrix:
+    def test_symmetric_with_footprint_diagonal(self, setup):
+        nest, ds, h = setup
+        m = OriginalMapper().map(nest, ds, h)
+        S = sharing_matrix(m, nest, ds)
+        assert S.shape == (4, 4)
+        assert np.array_equal(S, S.T)
+        assert (np.diag(S) > 0).all()
+
+    def test_shared_counts_bounded_by_footprints(self, setup):
+        nest, ds, h = setup
+        m = OriginalMapper().map(nest, ds, h)
+        S = sharing_matrix(m, nest, ds)
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert S[a, b] <= min(S[a, a], S[b, b])
+
+    def test_everyone_shares_chunk0(self, setup):
+        """Fig. 6's A[i%d] makes chunk 0 common to all clients."""
+        nest, ds, h = setup
+        m = OriginalMapper().map(nest, ds, h)
+        S = sharing_matrix(m, nest, ds)
+        assert (S[~np.eye(4, dtype=bool)] >= 1).all()
+
+
+class TestAffinityQuality:
+    def test_ratio_semantics(self):
+        q = AffinityQuality(sibling_sharing=6.0, stranger_sharing=2.0)
+        assert q.ratio == pytest.approx(3.0)
+        assert AffinityQuality(1.0, 0.0).ratio == float("inf")
+        assert AffinityQuality(0.0, 0.0).ratio == 1.0
+
+    def test_inter_concentrates_sharing(self, setup):
+        """The paper's rule 2: inter puts sharing below shared caches."""
+        nest, ds, h = setup
+        inter = InterProcessorMapper().map(nest, ds, h, make_rng(0))
+        q_inter = mapping_affinity_quality(inter, nest, ds, h)
+        assert q_inter.sibling_sharing >= q_inter.stranger_sharing
+
+    def test_inter_at_least_as_good_as_original(self, setup):
+        nest, ds, h = setup
+        orig = OriginalMapper().map(nest, ds, h)
+        inter = InterProcessorMapper().map(nest, ds, h, make_rng(0))
+        q_orig = mapping_affinity_quality(orig, nest, ds, h)
+        q_inter = mapping_affinity_quality(inter, nest, ds, h)
+        assert q_inter.ratio >= q_orig.ratio

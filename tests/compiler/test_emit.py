@@ -1,0 +1,77 @@
+"""Tests for source rendering."""
+
+import pytest
+
+from repro.compiler.emit import render_expr, render_reference, render_statement
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+from repro.workloads.paper_example import figure6_workload
+
+
+class TestRenderExpr:
+    def test_plain_terms(self):
+        e = AffineExpr([2, 1], 3)
+        assert render_expr(e, ["i", "j"]) == "2*i + j + 3"
+
+    def test_negative_terms(self):
+        e = AffineExpr([1, -1], -2)
+        assert render_expr(e, ["i", "j"]) == "i - j - 2"
+
+    def test_unit_negative_coefficient(self):
+        e = AffineExpr([-1], 0)
+        assert render_expr(e, ["i"]) == "-i"
+
+    def test_constant_only(self):
+        assert render_expr(AffineExpr([0, 0], 7), ["i", "j"]) == "7"
+        assert render_expr(AffineExpr([0], 0), ["i"]) == "0"
+
+    def test_modulus(self):
+        e = AffineExpr([1], 0, modulus=16)
+        assert render_expr(e, ["i"]) == "(i) % 16"
+
+    def test_name_count_checked(self):
+        with pytest.raises(ValueError):
+            render_expr(AffineExpr([1, 0]), ["i"])
+
+
+class TestRenderReference:
+    def test_1d(self):
+        r = ArrayRef("A", [AffineExpr([1], 4)])
+        assert render_reference(r, ["i"]) == "A[i + 4]"
+
+    def test_2d(self):
+        r = ArrayRef.from_matrix("B", [[1, 0], [0, 1]], [0, -1])
+        assert render_reference(r, ["i", "j"]) == "B[i][j - 1]"
+
+
+class TestRenderStatement:
+    def test_figure6_statement(self):
+        nest, _ = figure6_workload(d=16)
+        stmt = render_statement(nest, ["i"])
+        assert stmt.startswith("A[i] = ")
+        assert "(i) % 16" in stmt
+        assert "A[i + 64]" in stmt  # 4d with d=16
+        assert "A[i + 32]" in stmt  # 2d
+
+    def test_read_only_nest(self):
+        ds = DataSpace([DiskArray("A", (32,))], 8)
+        nest = LoopNest(
+            "r",
+            IterationSpace([(0, 15)]),
+            [ArrayRef("A", [AffineExpr([1])]), ArrayRef("A", [AffineExpr([1], 8)])],
+        )
+        stmt = render_statement(nest)
+        assert stmt.startswith("use(A[i0])")
+        assert "touch(A[i0 + 8])" in stmt
+
+    def test_write_only_nest(self):
+        ds = DataSpace([DiskArray("A", (32,))], 8)
+        nest = LoopNest(
+            "w",
+            IterationSpace([(0, 15)]),
+            [ArrayRef("A", [AffineExpr([1])], is_write=True)],
+        )
+        assert render_statement(nest) == "A[i0] = compute();"

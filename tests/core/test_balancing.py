@@ -1,0 +1,158 @@
+"""Tests for cluster load balancing (Fig. 5, Stage 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.balancing import TagMatrix, balance_clusters, imbalance
+from repro.core.chunking import IterationChunk
+from repro.core.clustering import Cluster, _make_cluster
+from repro.util.bitset import Tag
+
+
+def build(pool_specs, cluster_assignment, r=16):
+    """pool_specs: list of (chunkset, size); cluster_assignment: list of member lists."""
+    pool = []
+    rank = 0
+    for chunks, size in pool_specs:
+        pool.append(IterationChunk(Tag(chunks, r), np.arange(rank, rank + size)))
+        rank += size
+    tags = TagMatrix(pool, r)
+    clusters = [_make_cluster(list(ms), pool, r, tags) for ms in cluster_assignment]
+    return pool, clusters, tags
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert imbalance([10, 10, 10]) == 0.0
+
+    def test_relative_deviation(self):
+        assert imbalance([15, 5]) == pytest.approx(0.5)
+
+    def test_empty_and_zero(self):
+        assert imbalance([]) == 0.0
+        assert imbalance([0, 0]) == 0.0
+
+
+class TestTagMatrix:
+    def test_rows_match_tags(self):
+        pool = [IterationChunk(Tag({1, 3}, 8), np.arange(4))]
+        tm = TagMatrix(pool, 8)
+        assert tm.row(0).tolist() == [0, 1, 0, 1, 0, 0, 0, 0]
+
+    def test_append_grows(self):
+        pool = [IterationChunk(Tag({0}, 4), np.arange(2))]
+        tm = TagMatrix(pool, 4)
+        for k in range(40):
+            tm.append(IterationChunk(Tag({k % 4}, 4), np.arange(1)))
+        assert len(tm) == 41
+
+    def test_dots(self):
+        pool = [
+            IterationChunk(Tag({0, 1}, 4), np.arange(2)),
+            IterationChunk(Tag({1, 2}, 4), np.arange(2, 4)),
+        ]
+        tm = TagMatrix(pool, 4)
+        sig = np.array([1.0, 2.0, 0.0, 0.0])
+        assert tm.dots([0, 1], sig).tolist() == [3.0, 2.0]
+
+    def test_row_bounds(self):
+        tm = TagMatrix([], 4)
+        with pytest.raises(IndexError):
+            tm.row(0)
+
+
+class TestBalanceClusters:
+    def test_rebalances_skewed_clusters(self):
+        pool, clusters, tags = build(
+            [({0}, 10), ({1}, 10), ({2}, 10), ({3}, 10)],
+            [[0, 1, 2], [3]],
+        )
+        balance_clusters(clusters, pool, 0.10, 16, tags)
+        sizes = [c.size for c in clusters]
+        assert imbalance(sizes) <= 0.10 + 1e-9
+
+    def test_giant_donor_spreads_over_many(self):
+        pool, clusters, tags = build(
+            [({k}, 8) for k in range(12)],
+            [list(range(12))] + [[] for _ in range(3)],
+        )
+        # Empty clusters are not produced by clustering, but balancing
+        # must cope with near-empty ones: seed them with one chunk each.
+        pool2, clusters2, tags2 = build(
+            [({k}, 8) for k in range(12)],
+            [list(range(9)), [9], [10], [11]],
+        )
+        balance_clusters(clusters2, pool2, 0.10, 16, tags2)
+        sizes = [c.size for c in clusters2]
+        assert max(sizes) <= (sum(sizes) / 4) * 1.15
+
+    def test_eviction_prefers_affinity(self):
+        # Donor has chunks {5} and {9}; recipient already holds {9}-ish tags.
+        pool, clusters, tags = build(
+            [({1}, 4), ({5}, 4), ({9}, 4), ({9, 10}, 4)],
+            [[0, 1, 2], [3]],
+        )
+        balance_clusters(clusters, pool, 0.10, 16, tags)
+        # The chunk moved to the {9,10} cluster should be the {9} one.
+        recipient_members = clusters[1].members
+        moved = [m for m in recipient_members if m != 3]
+        assert moved == [2]
+
+    def test_splits_when_chunks_too_big(self):
+        pool, clusters, tags = build(
+            [({0}, 100), ({1}, 4)],
+            [[0], [1]],
+        )
+        balance_clusters(clusters, pool, 0.10, 16, tags)
+        sizes = sorted(c.size for c in clusters)
+        assert imbalance(sizes) <= 0.11
+        assert len(pool) > 2  # a split happened
+
+    def test_donor_never_empties(self):
+        pool, clusters, tags = build(
+            [({0}, 50)],
+            [[0], []],
+        )
+        # Single chunk, singleton donor: splitting must still leave the
+        # donor non-empty.
+        balance_clusters(clusters, pool, 0.10, 16, tags)
+        assert all(c.size > 0 for c in clusters if c.members)
+
+    def test_noop_when_balanced(self):
+        pool, clusters, tags = build(
+            [({0}, 10), ({1}, 10)],
+            [[0], [1]],
+        )
+        before = [list(c.members) for c in clusters]
+        balance_clusters(clusters, pool, 0.10, 16, tags)
+        assert [list(c.members) for c in clusters] == before
+
+    def test_single_cluster_noop(self):
+        pool, clusters, tags = build([({0}, 10)], [[0]])
+        balance_clusters(clusters, pool, 0.10, 16, tags)
+        assert clusters[0].size == 10
+
+    def test_out_of_sync_tag_matrix_rejected(self):
+        pool, clusters, tags = build([({0}, 10), ({1}, 10)], [[0], [1]])
+        pool.append(IterationChunk(Tag({2}, 16), np.arange(90, 95)))
+        with pytest.raises(ValueError):
+            balance_clusters(clusters, pool, 0.10, 16, tags)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(1, 40), min_size=4, max_size=16),
+        st.integers(2, 4),
+    )
+    def test_never_loses_iterations(self, sizes, k):
+        pool, clusters, tags = build(
+            [({i % 8}, s) for i, s in enumerate(sizes)],
+            [list(range(len(sizes)))] + [[] for _ in range(k - 1)],
+        )
+        # Seed empties by moving one chunk each where possible.
+        total_before = sum(c.size for c in clusters)
+        balance_clusters(clusters, pool, 0.10, 16, tags)
+        assert sum(c.size for c in clusters) == total_before
+        # All chunks still uniquely owned.
+        owned = [m for c in clusters for m in c.members]
+        assert len(owned) == len(set(owned))

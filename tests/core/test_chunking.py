@@ -1,0 +1,138 @@
+"""Tests for iteration tagging and chunk formation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chunking import IterationChunk, form_iteration_chunks
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+from repro.util.bitset import Tag
+
+
+def simple_nest(n=64, d=8, refs=None):
+    ds = DataSpace([DiskArray("A", (max(n, 128),))], d)
+    refs = refs or [ArrayRef("A", [AffineExpr([1])])]
+    return LoopNest("t", IterationSpace([(0, n - 1)]), refs), ds
+
+
+class TestIterationChunk:
+    def test_size(self):
+        c = IterationChunk(Tag([0], 4), np.arange(5))
+        assert c.size == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IterationChunk(Tag([0], 4), np.array([]))
+
+    def test_split(self):
+        c = IterationChunk(Tag([0], 4), np.arange(10))
+        a, b = c.split(3)
+        assert a.size == 3 and b.size == 7
+        assert a.tag == b.tag == c.tag
+        assert np.array_equal(np.concatenate([a.iterations, b.iterations]), c.iterations)
+
+    def test_split_bounds(self):
+        c = IterationChunk(Tag([0], 4), np.arange(4))
+        with pytest.raises(ValueError):
+            c.split(0)
+        with pytest.raises(ValueError):
+            c.split(4)
+
+
+class TestFormIterationChunks:
+    def test_sequential_sweep_one_chunk_per_block(self):
+        nest, ds = simple_nest(n=64, d=8)
+        cs = form_iteration_chunks(nest, ds)
+        assert cs.num_chunks == 8
+        for k, chunk in enumerate(cs.chunks):
+            assert chunk.tag.chunks == frozenset({k})
+            assert chunk.size == 8
+
+    def test_partition_validates(self):
+        nest, ds = simple_nest()
+        cs = form_iteration_chunks(nest, ds)
+        cs.validate_partition()
+        assert cs.total_iterations == nest.num_iterations
+
+    def test_duplicate_chunk_in_row_canonicalised(self):
+        # Two references touching the SAME chunk must not differ from one.
+        refs = [
+            ArrayRef("A", [AffineExpr([1])]),
+            ArrayRef("A", [AffineExpr([1])]),  # identical
+        ]
+        nest, ds = simple_nest(n=16, d=8, refs=refs)
+        cs = form_iteration_chunks(nest, ds)
+        assert cs.num_chunks == 2
+        assert all(c.tag.popcount() == 1 for c in cs.chunks)
+
+    def test_set_semantics_across_orderings(self):
+        # Rows [1,1,2] and [1,2,2] both mean {1,2}: same tag.
+        ds = DataSpace([DiskArray("A", (32,))], 8)
+        refs = [
+            ArrayRef("A", [AffineExpr([0], 8)]),   # always chunk 1
+            ArrayRef("A", [AffineExpr([1])]),      # chunk i//8
+            ArrayRef("A", [AffineExpr([1], 0, modulus=16)]),  # chunk (i%16)//8
+        ]
+        nest = LoopNest("t", IterationSpace([(8, 23)]), refs)
+        cs = form_iteration_chunks(nest, ds)
+        # i in [8,16): rows (1, 1, (i%16)//8=1) -> {1}; i in [16,24): (1, 2, 0) -> {0,1,2}
+        tags = {c.tag.chunks for c in cs.chunks}
+        assert frozenset({1}) in tags
+        assert frozenset({0, 1, 2}) in tags
+        assert cs.num_chunks == 2
+
+    def test_chunks_ordered_by_first_appearance(self):
+        nest, ds = simple_nest(n=32, d=8)
+        cs = form_iteration_chunks(nest, ds)
+        firsts = [c.iterations[0] for c in cs.chunks]
+        assert firsts == sorted(firsts)
+
+    def test_iterations_of_returns_vectors(self):
+        nest, ds = simple_nest(n=16, d=8)
+        cs = form_iteration_chunks(nest, ds)
+        its = cs.iterations_of(1)
+        assert its.shape == (8, 1)
+        assert its[0, 0] == 8
+
+    def test_signature_matrix(self):
+        nest, ds = simple_nest(n=16, d=8)
+        cs = form_iteration_chunks(nest, ds)
+        S = cs.signature_matrix()
+        assert S.shape == (2, ds.num_chunks)
+        assert S.sum() == 2
+
+    def test_ref_chunk_matrix_cached(self):
+        nest, ds = simple_nest(n=16, d=8)
+        cs = form_iteration_chunks(nest, ds)
+        assert cs.ref_chunk_matrix.shape == (16, 1)
+
+    def test_2d_nest(self):
+        ds = DataSpace([DiskArray("A", (8, 16))], 16)
+        nest = LoopNest(
+            "t",
+            IterationSpace([(0, 7), (0, 15)]),
+            [ArrayRef("A", [AffineExpr([1, 0]), AffineExpr([0, 1])])],
+        )
+        cs = form_iteration_chunks(nest, ds)
+        assert cs.num_chunks == 8  # one tag per row
+        cs.validate_partition()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(2, 6),  # chunk size d
+        st.lists(st.integers(0, 3), min_size=1, max_size=3),  # strides
+    )
+    def test_partition_property(self, d, strides):
+        P = 16 * d
+        ds = DataSpace([DiskArray("A", (P + 4 * d,))], d)
+        refs = [ArrayRef("A", [AffineExpr([1], s * d)]) for s in strides]
+        nest = LoopNest("t", IterationSpace([(0, P - 1)]), refs)
+        cs = form_iteration_chunks(nest, ds)
+        cs.validate_partition()
+        # Tags really differ between chunks.
+        tags = [c.tag for c in cs.chunks]
+        assert len(set(tags)) == len(tags)

@@ -1,0 +1,177 @@
+"""Tests for hierarchical iteration distribution (Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.balancing import TagMatrix, imbalance
+from repro.core.chunking import IterationChunk, form_iteration_chunks
+from repro.core.clustering import (
+    Cluster,
+    cluster_into,
+    distribute_iterations,
+    flat_distribution,
+)
+from repro.core.graph import build_affinity_graph
+from repro.hierarchy.topology import three_level_hierarchy, uniform_hierarchy
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+from repro.util.bitset import Tag
+
+
+def make_pool(tags, size=8):
+    """Build a pool of chunks with the given tag chunk-sets."""
+    r = max(max(t, default=0) for t in tags) + 1
+    pool = []
+    rank = 0
+    for t in tags:
+        pool.append(IterationChunk(Tag(t, r), np.arange(rank, rank + size)))
+        rank += size
+    return pool, r
+
+
+def strided_chunk_set(m=32, d=8, strides=(0, 2)):
+    P = m * d
+    ds = DataSpace([DiskArray("A", (P + max(strides) * d,))], d)
+    refs = [ArrayRef("A", [AffineExpr([1], s * d)]) for s in strides]
+    nest = LoopNest("t", IterationSpace([(0, P - 1)]), refs)
+    return form_iteration_chunks(nest, ds)
+
+
+class TestClusterInto:
+    def test_merges_by_affinity(self):
+        # Two parity families; 2 clusters must separate them.
+        pool, r = make_pool([{0, 2}, {1, 3}, {2, 4}, {3, 5}])
+        clusters = cluster_into(list(range(4)), pool, 2, r)
+        assert len(clusters) == 2
+        parities = [sorted(m % 2 for m in c.members) for c in clusters]
+        assert parities == [[0, 0], [1, 1]]
+
+    def test_exact_count(self):
+        pool, r = make_pool([{k} for k in range(10)])
+        clusters = cluster_into(list(range(10)), pool, 4, r)
+        assert len(clusters) == 4
+        assert sum(len(c.members) for c in clusters) == 10
+
+    def test_splits_when_too_few_chunks(self):
+        pool, r = make_pool([{0}], size=16)
+        clusters = cluster_into([0], pool, 4, r)
+        assert len(clusters) == 4
+        assert sum(c.size for c in clusters) == 16
+        assert len(pool) > 1  # chunks were split
+
+    def test_split_single_iteration_impossible(self):
+        pool, r = make_pool([{0}], size=1)
+        with pytest.raises(ValueError):
+            cluster_into([0], pool, 2, r)
+
+    def test_forced_pairs_stay_together(self):
+        pool, r = make_pool([{0}, {10}, {1}, {11}])
+        clusters = cluster_into(
+            list(range(4)), pool, 2, r, forced_pairs={(0, 1)}
+        )
+        for c in clusters:
+            if 0 in c.members:
+                assert 1 in c.members
+
+    def test_validates_inputs(self):
+        pool, r = make_pool([{0}])
+        with pytest.raises(ValueError):
+            cluster_into([], pool, 2, r)
+        with pytest.raises(ValueError):
+            cluster_into([0], pool, 0, r)
+
+    def test_cluster_bookkeeping_consistent(self):
+        pool, r = make_pool([{0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}])
+        clusters = cluster_into(list(range(5)), pool, 2, r)
+        for c in clusters:
+            c.validate(pool)
+
+
+class TestDistributeIterations:
+    def test_partition_preserved(self):
+        cs = strided_chunk_set()
+        h = three_level_hierarchy(8, 4, 2, (4, 4, 4))
+        dist = distribute_iterations(cs, h, 0.10)
+        dist.validate_partition()
+
+    def test_every_client_assigned(self):
+        cs = strided_chunk_set()
+        h = three_level_hierarchy(8, 4, 2, (4, 4, 4))
+        dist = distribute_iterations(cs, h, 0.10)
+        assert sorted(dist.assignment) == list(range(8))
+        assert all(dist.assignment[c] for c in range(8))
+
+    def test_balance_threshold_respected(self):
+        cs = strided_chunk_set(m=64)
+        h = three_level_hierarchy(8, 4, 2, (4, 4, 4))
+        dist = distribute_iterations(cs, h, 0.10)
+        sizes = list(dist.iteration_counts().values())
+        # Chunk granularity can exceed the threshold slightly; allow 2x.
+        assert imbalance(sizes) <= 0.25
+
+    def test_deep_hierarchy(self):
+        cs = strided_chunk_set(m=64)
+        h = uniform_hierarchy([2, 2, 2, 2], [16, 16, 16, 16])
+        dist = distribute_iterations(cs, h, 0.10)
+        dist.validate_partition()
+        assert len(dist.assignment) == 16
+
+    def test_single_client(self):
+        cs = strided_chunk_set(m=8)
+        h = uniform_hierarchy([1, 1], [64, 64])
+        dist = distribute_iterations(cs, h, 0.10)
+        assert len(dist.assignment[0]) == len(dist.pool)
+
+    def test_affinity_grouping_quality(self):
+        """Siblings under one L2 should share more chunks than strangers."""
+        cs = strided_chunk_set(m=64, strides=(0, 2, 4))
+        h = three_level_hierarchy(8, 4, 2, (4, 4, 4))
+        dist = distribute_iterations(cs, h, 0.10)
+
+        def footprint(c):
+            out = set()
+            for m in dist.assignment[c]:
+                out |= dist.pool[m].tag.chunks
+            return out
+
+        sib_overlap = len(footprint(0) & footprint(1))
+        far_overlap = len(footprint(0) & footprint(7))
+        assert sib_overlap >= far_overlap
+
+    def test_forced_graph_integration(self):
+        cs = strided_chunk_set(m=16)
+        g = build_affinity_graph(cs)
+        g.force_together(0, cs.num_chunks - 1)
+        h = three_level_hierarchy(4, 2, 1, (4, 4, 4))
+        dist = distribute_iterations(cs, h, 0.10, g)
+        owner = {
+            m: c for c, ids in dist.assignment.items() for m in ids
+        }
+        assert owner[0] == owner[cs.num_chunks - 1]
+
+    def test_threshold_validated(self):
+        cs = strided_chunk_set(m=8)
+        h = three_level_hierarchy(4, 2, 1, (4, 4, 4))
+        with pytest.raises(ValueError):
+            distribute_iterations(cs, h, 1.5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 5), st.integers(0, 4))
+    def test_partition_property(self, m_scale, stride):
+        cs = strided_chunk_set(m=8 * m_scale, strides=(0, stride))
+        h = three_level_hierarchy(4, 2, 1, (4, 4, 4))
+        dist = distribute_iterations(cs, h, 0.10)
+        dist.validate_partition()
+
+
+class TestFlatDistribution:
+    def test_partition_preserved(self):
+        cs = strided_chunk_set()
+        h = three_level_hierarchy(8, 4, 2, (4, 4, 4))
+        dist = flat_distribution(cs, h, 0.10)
+        dist.validate_partition()
+        assert len(dist.assignment) == 8

@@ -1,0 +1,116 @@
+"""Tests for dependence handling strategies (§5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import form_iteration_chunks
+from repro.core.dependences import (
+    DependenceStrategy,
+    apply_dependence_strategy,
+    count_cross_client_syncs,
+    dependent_chunk_pairs,
+)
+from repro.core.graph import build_affinity_graph
+from repro.core.mapper import InterProcessorMapper
+from repro.core.mapping import Mapping
+from repro.hierarchy.topology import three_level_hierarchy
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+
+
+@pytest.fixture
+def recurrence():
+    """A[i] = f(A[i - 16]): carried dependence of distance 16 (2 chunks)."""
+    d = 8
+    ds = DataSpace([DiskArray("A", (96,))], d)
+    refs = [
+        ArrayRef("A", [AffineExpr([1])], is_write=True),
+        ArrayRef("A", [AffineExpr([1], -16)]),
+    ]
+    nest = LoopNest("rec", IterationSpace([(16, 95)]), refs)
+    return nest, ds
+
+
+class TestDependentChunkPairs:
+    def test_pairs_found(self, recurrence):
+        nest, ds = recurrence
+        cs = form_iteration_chunks(nest, ds)
+        pairs = dependent_chunk_pairs(cs, nest)
+        assert pairs  # distance-16 dependence crosses chunk boundaries
+        for a, b in pairs:
+            assert a < b < cs.num_chunks
+
+    def test_no_pairs_for_parallel_nest(self):
+        ds = DataSpace([DiskArray("A", (64,))], 8)
+        nest = LoopNest(
+            "par",
+            IterationSpace([(0, 63)]),
+            [ArrayRef("A", [AffineExpr([1])], is_write=True)],
+        )
+        cs = form_iteration_chunks(nest, ds)
+        assert dependent_chunk_pairs(cs, nest) == set()
+
+
+class TestApplyStrategy:
+    def test_fuse_forces_edges(self, recurrence):
+        nest, ds = recurrence
+        cs = form_iteration_chunks(nest, ds)
+        g = build_affinity_graph(cs)
+        apply_dependence_strategy(g, cs, nest, DependenceStrategy.FUSE)
+        assert g.forced_pairs == dependent_chunk_pairs(cs, nest)
+
+    def test_sync_leaves_graph_alone(self, recurrence):
+        nest, ds = recurrence
+        cs = form_iteration_chunks(nest, ds)
+        g = build_affinity_graph(cs)
+        apply_dependence_strategy(g, cs, nest, DependenceStrategy.SYNC)
+        assert g.forced_pairs == set()
+
+    def test_none_leaves_graph_alone(self, recurrence):
+        nest, ds = recurrence
+        cs = form_iteration_chunks(nest, ds)
+        g = build_affinity_graph(cs)
+        apply_dependence_strategy(g, cs, nest, DependenceStrategy.NONE)
+        assert g.forced_pairs == set()
+
+
+class TestCountCrossClientSyncs:
+    def test_single_client_needs_no_syncs(self, recurrence):
+        nest, ds = recurrence
+        m = Mapping("one", {0: np.arange(nest.num_iterations)})
+        assert count_cross_client_syncs(m, nest) == {0: 0}
+
+    def test_blocked_mapping_syncs_at_boundaries(self, recurrence):
+        nest, ds = recurrence
+        N = nest.num_iterations
+        m = Mapping(
+            "two", {0: np.arange(N // 2), 1: np.arange(N // 2, N)}
+        )
+        syncs = count_cross_client_syncs(m, nest)
+        # Dependence distance 16: exactly 16 edges cross the boundary,
+        # all consumed by client 1.
+        assert syncs[0] == 0
+        assert syncs[1] == 16
+
+    def test_fuse_strategy_reduces_syncs(self, recurrence):
+        nest, ds = recurrence
+        h = three_level_hierarchy(4, 2, 1, (4, 4, 4))
+        sync_m = InterProcessorMapper(
+            dependence_strategy=DependenceStrategy.SYNC
+        ).map(nest, ds, h)
+        fuse_m = InterProcessorMapper(
+            dependence_strategy=DependenceStrategy.FUSE
+        ).map(nest, ds, h)
+        s_sync = sum(count_cross_client_syncs(sync_m, nest).values())
+        s_fuse = sum(count_cross_client_syncs(fuse_m, nest).values())
+        assert s_fuse <= s_sync
+
+
+class TestStrategyEnum:
+    def test_from_string(self):
+        assert DependenceStrategy("fuse") is DependenceStrategy.FUSE
+        assert DependenceStrategy("sync") is DependenceStrategy.SYNC
+        assert DependenceStrategy("none") is DependenceStrategy.NONE

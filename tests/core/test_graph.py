@@ -1,0 +1,85 @@
+"""Tests for the affinity graph."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import form_iteration_chunks
+from repro.core.graph import AffinityGraph, build_affinity_graph
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+
+
+@pytest.fixture
+def chunk_set():
+    ds = DataSpace([DiskArray("A", (96,))], 8)
+    refs = [
+        ArrayRef("A", [AffineExpr([1])]),
+        ArrayRef("A", [AffineExpr([1], 16)]),  # +2 chunks
+    ]
+    nest = LoopNest("t", IterationSpace([(0, 79)]), refs)
+    return form_iteration_chunks(nest, ds)
+
+
+class TestBuildAffinityGraph:
+    def test_weights_are_tag_dots(self, chunk_set):
+        g = build_affinity_graph(chunk_set)
+        for i in range(g.num_nodes):
+            for j in range(g.num_nodes):
+                expected = chunk_set.chunks[i].tag.dot(chunk_set.chunks[j].tag)
+                assert g.weight(i, j) == expected
+
+    def test_symmetric(self, chunk_set):
+        g = build_affinity_graph(chunk_set)
+        assert np.array_equal(g.weights, g.weights.T)
+
+    def test_neighbours(self, chunk_set):
+        g = build_affinity_graph(chunk_set)
+        # Chunk 0 (tag {0,2}) shares with chunk 2 (tag {2,4}).
+        assert 2 in g.neighbours(0)
+        assert 0 not in g.neighbours(0)
+
+    def test_edges_min_weight(self, chunk_set):
+        g = build_affinity_graph(chunk_set)
+        for i, j, w in g.edges(min_weight=1):
+            assert i < j and w >= 1
+
+    def test_components_by_parity(self, chunk_set):
+        g = build_affinity_graph(chunk_set)
+        comps = g.components(min_weight=1)
+        # Stride 2 means odd/even block components.
+        assert len(comps) == 2
+
+
+class TestForceTogether:
+    def test_infinite_weight(self, chunk_set):
+        g = build_affinity_graph(chunk_set)
+        g.force_together(0, 1)
+        assert math.isinf(g.weight(0, 1))
+        assert (0, 1) in g.forced_pairs
+
+    def test_self_pair_rejected(self, chunk_set):
+        g = build_affinity_graph(chunk_set)
+        with pytest.raises(ValueError):
+            g.force_together(2, 2)
+
+    def test_out_of_range(self, chunk_set):
+        g = build_affinity_graph(chunk_set)
+        with pytest.raises(ValueError):
+            g.force_together(0, 999)
+
+
+class TestValidation:
+    def test_asymmetric_rejected(self, chunk_set):
+        w = np.zeros((chunk_set.num_chunks, chunk_set.num_chunks))
+        w[0, 1] = 5
+        with pytest.raises(ValueError):
+            AffinityGraph(chunk_set, w)
+
+    def test_wrong_shape_rejected(self, chunk_set):
+        with pytest.raises(ValueError):
+            AffinityGraph(chunk_set, np.zeros((2, 2)))

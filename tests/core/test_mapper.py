@@ -1,0 +1,80 @@
+"""Tests for the Inter-processor mapper end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapper import InterProcessorMapper
+from repro.hierarchy.topology import three_level_hierarchy
+from repro.util.rng import make_rng
+from repro.workloads.paper_example import figure6_workload, figure7_hierarchy
+
+
+@pytest.fixture(scope="module")
+def setup():
+    nest, ds = figure6_workload(d=16)
+    return nest, ds, figure7_hierarchy()
+
+
+class TestInterProcessorMapper:
+    def test_valid_partition(self, setup):
+        nest, ds, h = setup
+        m = InterProcessorMapper().map(nest, ds, h)
+        m.validate(nest.num_iterations)
+        assert m.distribution is not None
+        assert m.schedule is not None
+
+    def test_name_tracks_schedule(self):
+        assert InterProcessorMapper().name == "inter"
+        assert InterProcessorMapper(schedule=True).name == "inter+sched"
+
+    def test_formation_order_deterministic(self, setup):
+        nest, ds, h = setup
+        m1 = InterProcessorMapper().map(nest, ds, h)
+        m2 = InterProcessorMapper().map(nest, ds, h)
+        for c in m1.client_order:
+            assert np.array_equal(m1.client_order[c], m2.client_order[c])
+
+    def test_random_order_uses_rng(self, setup):
+        nest, ds, h = setup
+        mapper = InterProcessorMapper(chunk_order="random")
+        a = mapper.map(nest, ds, h, make_rng(1))
+        b = mapper.map(nest, ds, h, make_rng(1))
+        c = mapper.map(nest, ds, h, make_rng(99))
+        for cl in a.client_order:
+            assert np.array_equal(a.client_order[cl], b.client_order[cl])
+        assert any(
+            not np.array_equal(a.client_order[cl], c.client_order[cl])
+            for cl in a.client_order
+        )
+
+    def test_scheduled_mapping_valid(self, setup):
+        nest, ds, h = setup
+        m = InterProcessorMapper(schedule=True, alpha=0.5, beta=0.5).map(
+            nest, ds, h
+        )
+        m.validate(nest.num_iterations)
+
+    def test_bad_chunk_order_rejected(self):
+        with pytest.raises(ValueError):
+            InterProcessorMapper(chunk_order="shuffled")
+
+    def test_bad_dependence_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            InterProcessorMapper(dependence_strategy="maybe")
+
+    def test_mapping_time_recorded(self, setup):
+        nest, ds, h = setup
+        m = InterProcessorMapper().map(nest, ds, h)
+        assert m.mapping_time_s > 0
+
+    def test_works_on_larger_hierarchy(self, setup):
+        nest, ds, _ = setup
+        h = three_level_hierarchy(8, 4, 2, (4, 4, 4))
+        m = InterProcessorMapper(schedule=True).map(nest, ds, h)
+        m.validate(nest.num_iterations)
+        assert m.num_clients == 8
+
+    def test_balance_within_reasonable_bounds(self, setup):
+        nest, ds, h = setup
+        m = InterProcessorMapper(balance_threshold=0.10).map(nest, ds, h)
+        assert m.imbalance() <= 0.25  # threshold + chunk granularity slack

@@ -1,0 +1,124 @@
+"""Tests for the Fig. 15 scheduling algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chunking import IterationChunk, form_iteration_chunks
+from repro.core.clustering import distribute_iterations
+from repro.core.scheduling import _io_level_groups, schedule_clients, schedule_group
+from repro.hierarchy.topology import three_level_hierarchy, uniform_hierarchy
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+from repro.util.bitset import Tag
+
+
+def pool_of(tagsets, r=16, size=4):
+    pool = []
+    rank = 0
+    for t in tagsets:
+        pool.append(IterationChunk(Tag(t, r), np.arange(rank, rank + size)))
+        rank += size
+    return pool
+
+
+class TestIoLevelGroups:
+    def test_three_level(self):
+        h = three_level_hierarchy(8, 4, 2, (2, 2, 2))
+        groups = _io_level_groups(h)
+        assert groups == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_two_level(self):
+        h = uniform_hierarchy([2, 3], [4, 2])
+        assert _io_level_groups(h) == [[0, 1, 2], [3, 4, 5]]
+
+
+class TestScheduleGroup:
+    def test_permutation_preserved(self):
+        pool = pool_of([{0}, {1}, {0, 1}, {2}, {2, 3}, {3}])
+        sched = schedule_group([[0, 1, 2], [3, 4, 5]], pool, 0.5, 0.5)
+        assert sorted(sched[0]) == [0, 1, 2]
+        assert sorted(sched[1]) == [3, 4, 5]
+
+    def test_first_client_starts_least_popcount(self):
+        pool = pool_of([{0, 1, 2}, {3}, {4, 5}])
+        sched = schedule_group([[0, 1, 2]], pool, 0.5, 0.5)
+        assert sched[0][0] == 1
+
+    def test_second_client_follows_affinity(self):
+        # Client 0 schedules {0}; client 1 should pick its chunk sharing 0.
+        pool = pool_of([{0}, {0, 5}, {9}])
+        sched = schedule_group([[0], [1, 2]], pool, 1.0, 0.0)
+        assert sched[1][0] == 1
+
+    def test_vertical_affinity_with_beta(self):
+        # alpha=0: client orders by own-last affinity only.
+        pool = pool_of([{0}, {9}, {0, 1}], size=4)
+        sched = schedule_group([[0, 1, 2]], pool, 0.0, 1.0)
+        assert sched[0][0] == 0  # least popcount
+        assert sched[0][1] == 2  # {0,1} shares with {0}; {9} does not
+
+    def test_empty_clients_handled(self):
+        pool = pool_of([{0}])
+        sched = schedule_group([[], [0]], pool, 0.5, 0.5)
+        assert sched[0] == []
+        assert sched[1] == [0]
+
+    def test_unequal_loads_terminate(self):
+        pool = pool_of([{0}, {1}, {2}, {3}, {4}], size=3)
+        sched = schedule_group([[0, 1, 2, 3], [4]], pool, 0.5, 0.5)
+        assert sorted(sched[0] + sched[1]) == [0, 1, 2, 3, 4]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 11), min_size=0, max_size=6, unique=True),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_schedule_is_partition_property(self, raw_groups):
+        # Build disjoint per-client chunk id lists from the raw draw.
+        pool = pool_of([{k} for k in range(20)], r=32, size=2)
+        seen = set()
+        client_chunks = []
+        for lst in raw_groups:
+            mine = [m for m in lst if m not in seen]
+            seen.update(mine)
+            client_chunks.append(mine)
+        sched = schedule_group(client_chunks, pool, 0.5, 0.5)
+        for want, got in zip(client_chunks, sched):
+            assert sorted(got) == sorted(want)
+
+
+class TestScheduleClients:
+    @pytest.fixture
+    def distributed(self):
+        ds = DataSpace([DiskArray("A", (320,))], 8)
+        refs = [
+            ArrayRef("A", [AffineExpr([1])]),
+            ArrayRef("A", [AffineExpr([1], 16)]),
+        ]
+        nest = LoopNest("t", IterationSpace([(0, 255)]), refs)
+        cs = form_iteration_chunks(nest, ds)
+        h = three_level_hierarchy(8, 4, 2, (2, 4, 8))
+        return distribute_iterations(cs, h, 0.10), h
+
+    def test_every_client_scheduled(self, distributed):
+        dist, h = distributed
+        sched = schedule_clients(dist, h)
+        assert sorted(sched) == list(range(8))
+        for c in range(8):
+            assert sorted(sched[c]) == sorted(dist.assignment[c])
+
+    def test_negative_weights_rejected(self, distributed):
+        dist, h = distributed
+        with pytest.raises(ValueError):
+            schedule_clients(dist, h, alpha=-1.0)
+
+    def test_deterministic(self, distributed):
+        dist, h = distributed
+        assert schedule_clients(dist, h) == schedule_clients(dist, h)

@@ -1,0 +1,73 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.experiments.config import scaled_config
+from repro.experiments.harness import (
+    average_improvement,
+    normalized_suite,
+    run_suite,
+)
+from repro.workloads.suite import SUITE, get_workload
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    cfg = scaled_config(16)
+    return run_suite(
+        cfg,
+        versions=("original", "inter"),
+        workloads=[get_workload("hf"), get_workload("sar")],
+    )
+
+
+class TestRunSuite:
+    def test_structure(self, small_results):
+        assert set(small_results) == {"hf", "sar"}
+        assert set(small_results["hf"]) == {"original", "inter"}
+
+    def test_results_carry_versions(self, small_results):
+        assert small_results["hf"]["inter"].version == "inter"
+        assert small_results["sar"]["original"].workload == "sar"
+
+
+class TestNormalizedSuite:
+    def test_baseline_is_unity(self, small_results):
+        norm = normalized_suite(small_results)
+        for wname in norm:
+            for metric, value in norm[wname]["original"].items():
+                assert value == pytest.approx(1.0)
+
+    def test_metrics_present(self, small_results):
+        norm = normalized_suite(small_results)
+        inter = norm["hf"]["inter"]
+        assert {"io_latency", "execution_time"} <= set(inter)
+        assert any(k.startswith("miss_rate_") for k in inter)
+
+    def test_missing_baseline_raises(self, small_results):
+        stripped = {
+            w: {v: r for v, r in pv.items() if v != "original"}
+            for w, pv in small_results.items()
+        }
+        with pytest.raises(KeyError):
+            normalized_suite(stripped)
+
+
+class TestAverageImprovement:
+    def test_zero_for_baseline(self, small_results):
+        norm = normalized_suite(small_results)
+        assert average_improvement(norm, "original", "io_latency") == pytest.approx(
+            0.0
+        )
+
+    def test_fraction_semantics(self, small_results):
+        norm = normalized_suite(small_results)
+        imp = average_improvement(norm, "inter", "io_latency")
+        mean_ratio = sum(
+            n["inter"]["io_latency"] for n in norm.values()
+        ) / len(norm)
+        assert imp == pytest.approx(1.0 - mean_ratio)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_improvement({}, "inter", "io_latency")

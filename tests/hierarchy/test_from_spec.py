@@ -1,0 +1,132 @@
+"""Tests for the declarative hierarchy builder."""
+
+import pytest
+
+from repro.hierarchy.topology import hierarchy_from_spec
+
+
+def leaf(cap=8):
+    return {"capacity": cap}
+
+
+class TestHierarchyFromSpec:
+    def test_single_root(self):
+        h = hierarchy_from_spec(
+            {"capacity": 64, "children": [leaf(), leaf(), leaf()]}
+        )
+        assert h.num_clients == 3
+        assert h.num_levels == 2
+        assert not h.root.is_dummy
+
+    def test_multiple_roots_get_dummy(self):
+        h = hierarchy_from_spec(
+            {
+                "roots": [
+                    {"capacity": 64, "children": [leaf(), leaf()]},
+                    {"capacity": 64, "children": [leaf(), leaf()]},
+                ]
+            }
+        )
+        assert h.root.is_dummy
+        assert h.num_clients == 4
+        assert not h.have_affinity(0, 2)
+
+    def test_heterogeneous_fanouts(self):
+        """Different subtree shapes, same leaf depth — allowed."""
+        h = hierarchy_from_spec(
+            {
+                "roots": [
+                    {
+                        "capacity": 64,
+                        "children": [
+                            {"capacity": 32, "children": [leaf(), leaf()]}
+                        ],
+                    },
+                    {
+                        "capacity": 64,
+                        "children": [
+                            {"capacity": 32, "children": [leaf()]},
+                            {"capacity": 32, "children": [leaf()]},
+                        ],
+                    },
+                ]
+            }
+        )
+        assert h.num_clients == 4
+        # Clients 0,1 share an L2; clients 2,3 only share their L3.
+        assert h.affinity_depth(0, 1) == 1
+        assert h.affinity_depth(2, 3) == 2
+
+    def test_custom_level_names(self):
+        h = hierarchy_from_spec(
+            {
+                "capacity": 64,
+                "level": "server",
+                "children": [{"capacity": 8, "level": "client"}],
+            }
+        )
+        assert h.level_names() == ["client", "server"]
+
+    def test_capacities_applied(self):
+        h = hierarchy_from_spec({"capacity": 10, "children": [leaf(3)]})
+        assert h.path(0)[0].capacity == 3
+        assert h.path(0)[1].capacity == 10
+
+    def test_unequal_depths_rejected(self):
+        with pytest.raises(ValueError, match="depth"):
+            hierarchy_from_spec(
+                {
+                    "capacity": 64,
+                    "children": [
+                        leaf(),
+                        {"capacity": 32, "children": [leaf()]},
+                    ],
+                }
+            )
+
+    def test_unequal_root_depths_rejected(self):
+        with pytest.raises(ValueError, match="depth"):
+            hierarchy_from_spec(
+                {
+                    "roots": [
+                        leaf(),
+                        {"capacity": 32, "children": [leaf()]},
+                    ]
+                }
+            )
+
+    def test_missing_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            hierarchy_from_spec({"children": [leaf()]})
+
+    def test_empty_roots_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchy_from_spec({"roots": []})
+
+    def test_mapping_on_heterogeneous_tree(self):
+        """The clustering recursion handles per-node degrees."""
+        from repro.core.mapper import InterProcessorMapper
+        from repro.workloads.paper_example import figure6_workload
+
+        h = hierarchy_from_spec(
+            {
+                "roots": [
+                    {
+                        "capacity": 16,
+                        "children": [
+                            {"capacity": 8, "children": [leaf(4), leaf(4)]},
+                        ],
+                    },
+                    {
+                        "capacity": 16,
+                        "children": [
+                            {"capacity": 8, "children": [leaf(4)]},
+                            {"capacity": 8, "children": [leaf(4)]},
+                        ],
+                    },
+                ]
+            }
+        )
+        nest, ds = figure6_workload(d=16)
+        mapping = InterProcessorMapper().map(nest, ds, h)
+        mapping.validate(nest.num_iterations)

@@ -1,0 +1,42 @@
+"""Tests for cache statistics."""
+
+from repro.hierarchy.stats import CacheStats
+
+
+class TestCacheStats:
+    def test_rates(self):
+        st = CacheStats()
+        for _ in range(3):
+            st.record_hit()
+        st.record_miss()
+        assert st.accesses == 4
+        assert st.miss_rate == 0.25
+        assert st.hit_rate == 0.75
+
+    def test_untouched_cache_rates_are_zero(self):
+        st = CacheStats()
+        assert st.miss_rate == 0.0
+        assert st.hit_rate == 0.0
+
+    def test_fills_and_evictions(self):
+        st = CacheStats()
+        st.record_fill()
+        st.record_eviction()
+        assert st.fills == 1 and st.evictions == 1
+
+    def test_merge(self):
+        a = CacheStats(accesses=10, hits=6, misses=4, fills=4, evictions=1)
+        b = CacheStats(accesses=2, hits=0, misses=2, fills=2, evictions=0)
+        m = a.merge(b)
+        assert m.accesses == 12 and m.hits == 6 and m.misses == 6
+        assert m.fills == 6 and m.evictions == 1
+        # merge does not mutate inputs
+        assert a.accesses == 10 and b.accesses == 2
+
+    def test_reset(self):
+        st = CacheStats(accesses=5, hits=5)
+        st.reset()
+        assert st.accesses == 0 and st.hits == 0
+
+    def test_repr(self):
+        assert "miss_rate" in repr(CacheStats(accesses=2, misses=1, hits=1))

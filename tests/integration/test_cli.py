@@ -1,0 +1,58 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_experiments_registry(self):
+        assert set(EXPERIMENTS) == {
+            "table2",
+            "figure10",
+            "figure11",
+            "figure12",
+            "figure13",
+            "figure14",
+            "figure18",
+        }
+
+    def test_table2_scaled(self, capsys):
+        assert main(["table2", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "hf" in out
+
+    def test_figure11_scaled(self, capsys):
+        assert main(["figure11", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "AVERAGE" in out
+
+    def test_suite_command(self, capsys):
+        assert main(["suite", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "inter+sched" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+
+class TestExplainCommand:
+    def test_explain_scaled(self, capsys):
+        assert main(["explain", "--workload", "sar", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Explain (sar)" in out
+        assert "inter+sched" in out
+
+
+class TestJsonExport:
+    def test_suite_json(self, capsys, tmp_path):
+        out_file = tmp_path / "r.json"
+        assert main(["suite", "--scale", "16", "--json", str(out_file)]) == 0
+        assert out_file.exists()
+        import json
+
+        data = json.loads(out_file.read_text())
+        assert "hf" in data and "inter" in data["hf"]

@@ -1,0 +1,103 @@
+"""Integration tests: the paper's qualitative claims at a scaled topology.
+
+These assert the *shape* of the results (who wins, in which metric),
+which is the reproduction's contract — absolute numbers are workload-
+and scale-specific (see DESIGN.md §5).
+"""
+
+import pytest
+
+from repro.experiments.config import scaled_config
+from repro.experiments.harness import (
+    average_improvement,
+    normalized_suite,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Full suite at 8 clients — the shared fixture for shape checks."""
+    return run_suite(scaled_config(8))
+
+
+@pytest.fixture(scope="module")
+def normalized(results):
+    return normalized_suite(results)
+
+
+class TestPaperHeadlineClaims:
+    def test_inter_improves_io_latency_substantially(self, normalized):
+        """Paper: -26.3% I/O latency on average."""
+        imp = average_improvement(normalized, "inter", "io_latency")
+        assert imp > 0.10
+
+    def test_inter_improves_execution_time(self, normalized):
+        """Paper: -18.9% execution time on average."""
+        imp = average_improvement(normalized, "inter", "execution_time")
+        assert imp > 0.08
+
+    def test_inter_beats_intra(self, normalized):
+        """Paper: 'performs significantly better than a state-of-the-art
+        data locality optimization scheme'."""
+        inter = average_improvement(normalized, "inter", "io_latency")
+        intra = average_improvement(normalized, "intra", "io_latency")
+        assert inter > intra
+
+    def test_scheduling_helps_on_average(self, normalized):
+        """Paper Fig. 18: scheduling lifts the improvements further."""
+        sched = average_improvement(normalized, "inter+sched", "io_latency")
+        unsched = average_improvement(normalized, "inter", "io_latency")
+        assert sched >= unsched - 0.02  # at least comparable, usually better
+
+    def test_io_improvement_exceeds_execution_improvement(self, normalized):
+        """Execution time includes compute, so its relative gain is smaller."""
+        io = average_improvement(normalized, "inter", "io_latency")
+        ex = average_improvement(normalized, "inter", "execution_time")
+        assert io >= ex
+
+
+class TestMissBehaviour:
+    def test_inter_reduces_misses_at_every_level(self, results):
+        """Paper Fig. 10: inter reduces L1, L2 AND L3 misses on average."""
+        for level in ("L1", "L2", "L3"):
+            ratios = []
+            for wname, per_version in results.items():
+                base = per_version["original"].sim.level_stats[level].misses
+                ours = per_version["inter"].sim.level_stats[level].misses
+                if base:
+                    ratios.append(ours / base)
+            assert sum(ratios) / len(ratios) < 1.0, level
+
+    def test_original_miss_rates_grow_with_depth(self, results):
+        """Paper Table 2: deeper levels miss more (destructive sharing)."""
+        grows = 0
+        for per_version in results.values():
+            rates = per_version["original"].sim.miss_rates()
+            if rates["L1"] <= rates["L2"] or rates["L2"] <= rates["L3"]:
+                grows += 1
+        # At this reduced scale the trend is weaker than at the default
+        # topology (where Table 2 shows it for 7-8 of 8 applications).
+        assert grows >= 5
+
+    def test_total_accesses_identical_across_versions(self, results):
+        """All versions execute the same iterations (paper §5.1)."""
+        for per_version in results.values():
+            iters = {
+                v: sum(r.sim.per_client_compute_ms)
+                for v, r in per_version.items()
+            }
+            base = iters["original"]
+            for v, total in iters.items():
+                assert total == pytest.approx(base), v
+
+
+class TestDeterminism:
+    def test_repeat_run_identical(self):
+        cfg = scaled_config(16)
+        a = run_suite(cfg, versions=("inter",))
+        b = run_suite(cfg, versions=("inter",))
+        for w in a:
+            assert (
+                a[w]["inter"].io_latency_ms == b[w]["inter"].io_latency_ms
+            )

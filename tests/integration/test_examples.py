@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples run and produce their key output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "inter+sched" in out
+        assert "disk reads" in out
+
+    def test_paper_worked_example(self):
+        out = run_example("paper_worked_example.py")
+        assert "gamma1: i = 0..15   tag = 101010000000" in out
+        assert "Fig. 17" in out
+        assert "for (i = " in out
+
+    def test_compile_to_code(self):
+        out = run_example("compile_to_code.py")
+        assert "// ===== client node 0 =====" in out
+        assert "wait_for(" in out
+
+    def test_custom_hierarchy(self):
+        out = run_example("custom_hierarchy.py")
+        assert "L4" in out
+        assert "inter+sched" in out
+
+    @pytest.mark.slow
+    def test_dependence_handling(self):
+        out = run_example("dependence_handling.py")
+        assert "cross-client syncs" in out
+
+    @pytest.mark.slow
+    def test_explain_the_win(self):
+        out = run_example("explain_the_win.py", "hf")
+        assert "Attribution of the mapping win on 'hf'" in out
+
+    @pytest.mark.slow
+    def test_sensitivity_study(self):
+        out = run_example("sensitivity_study.py", timeout=400)
+        assert "Cache-capacity sweep" in out
+        assert "Chunk-size sweep" in out

@@ -1,0 +1,104 @@
+"""Tests for disk arrays and the chunked data space."""
+
+import numpy as np
+import pytest
+
+from repro.polyhedral.arrays import DataSpace, DiskArray
+
+
+class TestDiskArray:
+    def test_size_and_bytes(self):
+        a = DiskArray("A", (4, 8), element_size=8)
+        assert a.size == 32
+        assert a.nbytes == 256
+        assert a.ndim == 2
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DiskArray("A", ())
+        with pytest.raises(ValueError):
+            DiskArray("A", (0,))
+        with pytest.raises(ValueError):
+            DiskArray("", (4,))
+
+    def test_linearize_row_major(self):
+        a = DiskArray("A", (3, 4))
+        assert a.linearize(np.array([[0, 0], [1, 0], [2, 3]])).tolist() == [0, 4, 11]
+
+    def test_linearize_single(self):
+        a = DiskArray("A", (3, 4))
+        assert a.linearize(np.array([1, 2])) == 6
+
+    def test_linearize_bounds(self):
+        a = DiskArray("A", (3, 4))
+        with pytest.raises(IndexError):
+            a.linearize(np.array([[3, 0]]))
+        with pytest.raises(IndexError):
+            a.linearize(np.array([[0, -1]]))
+
+    def test_linearize_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            DiskArray("A", (3,)).linearize(np.array([[0, 0]]))
+
+
+class TestDataSpace:
+    def test_chunk_numbering_across_arrays(self):
+        # Fig. 4: arrays are chunked separately, labels run consecutively.
+        ds = DataSpace([DiskArray("A", (100,)), DiskArray("B", (50,))], 10)
+        assert ds.num_chunks == 15
+        assert ds.chunk_base("A") == 0
+        assert ds.chunk_base("B") == 10
+        assert list(ds.chunks_of_array("B")) == list(range(10, 15))
+
+    def test_no_chunk_spans_arrays(self):
+        # A has 95 elements -> 10 chunks (last partial); B starts at 10.
+        ds = DataSpace([DiskArray("A", (95,)), DiskArray("B", (10,))], 10)
+        assert ds.chunk_base("B") == 10
+        assert ds.num_chunks == 11
+
+    def test_chunk_of_vectorised(self):
+        ds = DataSpace([DiskArray("A", (100,))], 10)
+        idx = np.array([[0], [9], [10], [99]])
+        assert ds.chunk_of("A", idx).tolist() == [0, 0, 1, 9]
+
+    def test_chunk_of_2d_array(self):
+        ds = DataSpace([DiskArray("A", (4, 10))], 10)
+        assert ds.chunk_of("A", np.array([[2, 5]])) == 2
+
+    def test_chunk_of_offsets(self):
+        ds = DataSpace([DiskArray("A", (100,)), DiskArray("B", (20,))], 10)
+        assert ds.chunk_of_offsets("B", np.array([0, 15])).tolist() == [10, 11]
+        with pytest.raises(IndexError):
+            ds.chunk_of_offsets("B", np.array([20]))
+
+    def test_owner_of_chunk(self):
+        ds = DataSpace([DiskArray("A", (100,)), DiskArray("B", (50,))], 10)
+        assert ds.owner_of_chunk(0) == "A"
+        assert ds.owner_of_chunk(9) == "A"
+        assert ds.owner_of_chunk(10) == "B"
+        with pytest.raises(IndexError):
+            ds.owner_of_chunk(15)
+
+    def test_unknown_array(self):
+        ds = DataSpace([DiskArray("A", (10,))], 5)
+        with pytest.raises(KeyError):
+            ds.array("Z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DataSpace([DiskArray("A", (10,)), DiskArray("A", (10,))], 5)
+
+    def test_needs_arrays(self):
+        with pytest.raises(ValueError):
+            DataSpace([], 5)
+
+    def test_totals(self):
+        ds = DataSpace([DiskArray("A", (100,)), DiskArray("B", (50,))], 10)
+        assert ds.total_elements == 150
+        assert ds.total_bytes == 150 * 8
+
+    def test_paper_figure6_chunking(self):
+        # Fig. 6: A[m] with m = 12*d divided into 12 chunks of size d.
+        d = 16
+        ds = DataSpace([DiskArray("A", (12 * d,))], d)
+        assert ds.num_chunks == 12

@@ -1,0 +1,108 @@
+"""Tests for Omega-style loop reconstruction (codegen)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedral.codegen import (
+    LoopBand,
+    enumerate_bands,
+    generate_bands,
+    render_code,
+)
+
+
+class TestLoopBand:
+    def test_size(self):
+        assert LoopBand((1,), 2, 5).size == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LoopBand((0,), 3, 2)
+
+
+class TestGenerateBands:
+    def test_contiguous_run_compresses(self):
+        pts = np.array([[0, 0], [0, 1], [0, 2]])
+        bands = generate_bands(pts)
+        assert bands == [LoopBand((0,), 0, 2)]
+
+    def test_gap_splits_band(self):
+        pts = np.array([[0, 0], [0, 2], [0, 3]])
+        assert generate_bands(pts) == [LoopBand((0,), 0, 0), LoopBand((0,), 2, 3)]
+
+    def test_prefix_change_splits(self):
+        pts = np.array([[0, 1], [1, 2]])
+        assert generate_bands(pts) == [LoopBand((0,), 1, 1), LoopBand((1,), 2, 2)]
+
+    def test_unsorted_input_sorted_first(self):
+        pts = np.array([[1, 0], [0, 1], [0, 0]])
+        assert generate_bands(pts) == [LoopBand((0,), 0, 1), LoopBand((1,), 0, 0)]
+
+    def test_1d_points(self):
+        pts = np.array([[3], [4], [9]])
+        assert generate_bands(pts) == [LoopBand((), 3, 4), LoopBand((), 9, 9)]
+
+    def test_single_point(self):
+        assert generate_bands(np.array([[7, 7]])) == [LoopBand((7,), 7, 7)]
+
+    def test_empty(self):
+        assert generate_bands(np.empty((0, 2), dtype=np.int64)) == []
+
+    def test_rejects_1d_array(self):
+        with pytest.raises(ValueError):
+            generate_bands(np.array([1, 2, 3]))
+
+
+class TestEnumerateBands:
+    def test_roundtrip_simple(self):
+        pts = np.array([[0, 0], [0, 1], [2, 5], [2, 6]])
+        bands = generate_bands(pts)
+        back = enumerate_bands(bands, 2)
+        assert np.array_equal(back, pts)
+
+    def test_empty(self):
+        assert enumerate_bands([], 3).shape == (0, 3)
+
+    def test_depth_mismatch(self):
+        with pytest.raises(ValueError):
+            enumerate_bands([LoopBand((0, 0), 1, 2)], 2)
+
+    @settings(max_examples=40)
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 4), st.integers(0, 6)), min_size=1, max_size=30
+        )
+    )
+    def test_roundtrip_property(self, points):
+        pts = np.array(sorted(points), dtype=np.int64)
+        bands = generate_bands(pts)
+        back = enumerate_bands(bands, 2)
+        assert np.array_equal(back, pts)
+        # Compression is genuine: at most one band per point.
+        assert len(bands) <= len(pts)
+
+
+class TestRenderCode:
+    def test_loop_emitted_for_runs(self):
+        bands = [LoopBand((3,), 0, 9)]
+        code = render_code(bands, ["i", "j"])
+        assert "i = 3;" in code
+        assert "for (j = 0; j <= 9; j++)" in code
+
+    def test_single_iteration_assignment(self):
+        code = render_code([LoopBand((1,), 5, 5)], ["i", "j"])
+        assert "j = 5;" in code
+
+    def test_shared_prefix_not_reemitted(self):
+        bands = [LoopBand((0,), 0, 1), LoopBand((0,), 5, 6)]
+        code = render_code(bands, ["i", "j"])
+        assert code.count("i = 0;") == 1
+
+    def test_name_count_checked(self):
+        with pytest.raises(ValueError):
+            render_code([LoopBand((0, 0), 0, 1)], ["i", "j"])
+
+    def test_custom_body(self):
+        code = render_code([LoopBand((), 0, 3)], ["i"], body="work(i);")
+        assert "work(i);" in code

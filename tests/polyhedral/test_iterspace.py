@@ -1,0 +1,111 @@
+"""Tests for rectangular iteration spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedral.iterspace import IterationSpace, LoopBound
+
+
+def small_spaces():
+    bound = st.tuples(st.integers(-5, 5), st.integers(0, 4)).map(
+        lambda t: (t[0], t[0] + t[1])
+    )
+    return st.lists(bound, min_size=1, max_size=3).map(IterationSpace)
+
+
+class TestLoopBound:
+    def test_trip_count(self):
+        assert LoopBound(2, 5).trip_count == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LoopBound(3, 2)
+
+    def test_values(self):
+        assert LoopBound(-1, 1).values().tolist() == [-1, 0, 1]
+
+
+class TestIterationSpace:
+    def test_shape_and_size(self):
+        sp = IterationSpace([(0, 2), (1, 4)])
+        assert sp.shape == (3, 4)
+        assert sp.size == 12
+        assert sp.depth == 2
+
+    def test_from_extents(self):
+        sp = IterationSpace.from_extents([2, 3])
+        assert sp.lowers.tolist() == [0, 0]
+        assert sp.uppers.tolist() == [1, 2]
+
+    def test_rejects_empty_nest(self):
+        with pytest.raises(ValueError):
+            IterationSpace([])
+
+    def test_enumerate_lexicographic(self):
+        sp = IterationSpace([(0, 1), (0, 1)])
+        assert sp.enumerate().tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+    def test_enumerate_respects_lowers(self):
+        sp = IterationSpace([(2, 3)])
+        assert sp.enumerate().tolist() == [[2], [3]]
+
+    def test_paper_figure3_nest(self):
+        # for i1 = 2..N1, i2 = 1..N2, i3 = 1..N3-1 with N=(4,3,3)
+        sp = IterationSpace([(2, 4), (1, 3), (1, 2)])
+        assert sp.size == 3 * 3 * 2
+        first = sp.enumerate()[0]
+        assert first.tolist() == [2, 1, 1]
+
+    def test_contains(self):
+        sp = IterationSpace([(0, 3), (0, 3)])
+        res = sp.contains(np.array([[0, 0], [3, 3], [4, 0], [0, -1]]))
+        assert res.tolist() == [True, True, False, False]
+
+    def test_contains_single_vector(self):
+        sp = IterationSpace([(0, 3)])
+        assert sp.contains(np.array([2])) is True
+        assert sp.contains(np.array([9])) is False
+
+    def test_iter_yields_tuples(self):
+        sp = IterationSpace([(0, 1)])
+        assert list(sp) == [(0,), (1,)]
+
+    def test_equality(self):
+        assert IterationSpace([(0, 2)]) == IterationSpace([(0, 2)])
+        assert IterationSpace([(0, 2)]) != IterationSpace([(0, 3)])
+
+
+class TestLinearize:
+    def test_roundtrip_explicit(self):
+        sp = IterationSpace([(1, 3), (0, 2)])
+        its = sp.enumerate()
+        ranks = sp.linearize(its)
+        assert ranks.tolist() == list(range(sp.size))
+        assert np.array_equal(sp.delinearize(ranks), its)
+
+    def test_single_point(self):
+        sp = IterationSpace([(0, 4), (0, 4)])
+        assert sp.linearize(np.array([1, 2])) == 7
+        assert sp.delinearize(np.int64(7)).tolist() == [1, 2]
+
+    def test_out_of_space_raises(self):
+        sp = IterationSpace([(0, 2)])
+        with pytest.raises(ValueError):
+            sp.linearize(np.array([[5]]))
+        with pytest.raises(ValueError):
+            sp.delinearize(np.array([3]))
+
+    @settings(max_examples=30)
+    @given(small_spaces())
+    def test_roundtrip_property(self, sp):
+        its = sp.enumerate()
+        assert np.array_equal(sp.delinearize(sp.linearize(its)), its)
+
+    @settings(max_examples=30)
+    @given(small_spaces())
+    def test_lexicographic_order_property(self, sp):
+        its = sp.enumerate()
+        # Each consecutive pair must be lexicographically increasing.
+        for a, b in zip(its[:-1], its[1:]):
+            assert tuple(a) < tuple(b)

@@ -1,0 +1,47 @@
+"""Tests for the LoopNest container."""
+
+import pytest
+
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+
+
+class TestLoopNest:
+    def test_basic(self):
+        nest = LoopNest(
+            "n",
+            IterationSpace([(0, 3), (0, 4)]),
+            [ArrayRef("A", [AffineExpr([1, 0]), AffineExpr([0, 1])])],
+        )
+        assert nest.depth == 2
+        assert nest.num_iterations == 20
+        assert nest.iterations().shape == (20, 2)
+
+    def test_arrays_referenced_ordered_unique(self):
+        refs = [
+            ArrayRef("B", [AffineExpr([1])]),
+            ArrayRef("A", [AffineExpr([1])]),
+            ArrayRef("B", [AffineExpr([1], 1)]),
+        ]
+        nest = LoopNest("n", IterationSpace([(0, 3)]), refs)
+        assert nest.arrays_referenced == ("B", "A")
+
+    def test_needs_references(self):
+        with pytest.raises(ValueError):
+            LoopNest("n", IterationSpace([(0, 3)]), [])
+
+    def test_depth_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest(
+                "n",
+                IterationSpace([(0, 3)]),
+                [ArrayRef("A", [AffineExpr([1, 0])])],
+            )
+
+    def test_repr(self):
+        nest = LoopNest(
+            "demo", IterationSpace([(0, 1)]), [ArrayRef("A", [AffineExpr([1])])]
+        )
+        assert "demo" in repr(nest)

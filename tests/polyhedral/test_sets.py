@@ -1,0 +1,100 @@
+"""Tests for the Omega-lite integer sets."""
+
+import numpy as np
+import pytest
+
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.sets import Constraint, IntegerSet
+
+
+class TestConstraint:
+    def test_ge(self):
+        c = Constraint(AffineExpr([1], -2))  # i - 2 >= 0
+        assert c.satisfied(np.array([[1], [2], [3]])).tolist() == [False, True, True]
+
+    def test_eq(self):
+        c = Constraint(AffineExpr([1], -2), kind="eq")
+        assert c.satisfied(np.array([[2], [3]])).tolist() == [True, False]
+
+    def test_mod(self):
+        c = Constraint(AffineExpr([1]), kind="mod", modulus=3, remainder=1)
+        assert c.satisfied(np.array([[1], [4], [5]])).tolist() == [True, True, False]
+
+    def test_mod_needs_modulus(self):
+        with pytest.raises(ValueError):
+            Constraint(AffineExpr([1]), kind="mod")
+
+    def test_ge_rejects_modulus(self):
+        with pytest.raises(ValueError):
+            Constraint(AffineExpr([1]), kind="ge", modulus=2)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Constraint(AffineExpr([1]), kind="le")
+
+    def test_bad_remainder(self):
+        with pytest.raises(ValueError):
+            Constraint(AffineExpr([1]), kind="mod", modulus=3, remainder=3)
+
+
+class TestIntegerSet:
+    def test_paper_g_set(self):
+        # G = {(i1,i2,i3) | 2<=i1<=N1, 1<=i2<=N2, 1<=i3<=N3-1} (§4.1).
+        N1, N2, N3 = 4, 3, 3
+        g = IntegerSet.universe(
+            IterationSpace([(2, N1), (1, N2), (1, N3 - 1)])
+        )
+        assert g.count() == 3 * 3 * 2
+        assert g.contains(np.array([2, 1, 1])) is True
+        assert g.contains(np.array([1, 1, 1])) is False
+
+    def test_constraint_filtering(self):
+        box = IterationSpace([(0, 9)])
+        evens = IntegerSet(box, [Constraint(AffineExpr([1]), "mod", 2, 0)])
+        assert evens.count() == 5
+        assert evens.enumerate()[:, 0].tolist() == [0, 2, 4, 6, 8]
+
+    def test_with_constraint(self):
+        box = IterationSpace([(0, 9)])
+        s = IntegerSet.universe(box).with_constraint(
+            Constraint(AffineExpr([1], -5))
+        )
+        assert s.count() == 5
+
+    def test_depth_mismatch(self):
+        with pytest.raises(ValueError):
+            IntegerSet(IterationSpace([(0, 1)]), [Constraint(AffineExpr([1, 0]))])
+
+    def test_intersect_boxes(self):
+        a = IntegerSet.universe(IterationSpace([(0, 5)]))
+        b = IntegerSet.universe(IterationSpace([(3, 9)]))
+        assert a.intersect(b).count() == 3  # {3,4,5}
+
+    def test_intersect_empty(self):
+        a = IntegerSet.universe(IterationSpace([(0, 2)]))
+        b = IntegerSet.universe(IterationSpace([(5, 9)]))
+        assert a.intersect(b).is_empty()
+
+    def test_intersect_combines_constraints(self):
+        box = IterationSpace([(0, 20)])
+        evens = IntegerSet(box, [Constraint(AffineExpr([1]), "mod", 2, 0)])
+        thirds = IntegerSet(box, [Constraint(AffineExpr([1]), "mod", 3, 0)])
+        sixths = evens.intersect(thirds)
+        assert sixths.enumerate()[:, 0].tolist() == [0, 6, 12, 18]
+
+    def test_difference_points(self):
+        box = IterationSpace([(0, 5)])
+        all_ = IntegerSet.universe(box)
+        evens = IntegerSet(box, [Constraint(AffineExpr([1]), "mod", 2, 0)])
+        odds = all_.difference_points(evens)
+        assert odds[:, 0].tolist() == [1, 3, 5]
+
+    def test_is_empty_plain_box(self):
+        assert not IntegerSet.universe(IterationSpace([(0, 0)])).is_empty()
+
+    def test_contains_vectorised(self):
+        box = IterationSpace([(0, 4), (0, 4)])
+        s = IntegerSet(box, [Constraint(AffineExpr([1, -1]), "eq")])  # i == j
+        pts = np.array([[1, 1], [2, 3]])
+        assert s.contains(pts).tolist() == [True, False]

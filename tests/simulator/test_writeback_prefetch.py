@@ -1,0 +1,144 @@
+"""Tests for the write-back and prefetch engine extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.hierarchy.topology import three_level_hierarchy
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.arrays import DataSpace, DiskArray
+from repro.polyhedral.iterspace import IterationSpace
+from repro.polyhedral.nest import LoopNest
+from repro.polyhedral.references import ArrayRef
+from repro.simulator.engine import simulate
+from repro.simulator.streams import build_client_streams_with_writes
+from repro.storage.filesystem import ParallelFileSystem
+
+
+def make_system(l1=2, l2=4, l3=8):
+    h = three_level_hierarchy(4, 2, 1, (l1, l2, l3))
+    fs = ParallelFileSystem(1, chunk_bytes=64 * 1024)
+    return h, fs
+
+
+def empty_streams(k=4):
+    return {c: np.empty(0, dtype=np.int64) for c in range(k)}
+
+
+def empty_masks(k=4):
+    return {c: np.empty(0, dtype=bool) for c in range(k)}
+
+
+class TestWriteback:
+    def test_clean_eviction_no_disk_write(self):
+        h, fs = make_system(l1=1, l2=64, l3=64)
+        streams = empty_streams()
+        masks = empty_masks()
+        streams[0] = np.array([1, 2, 3])
+        masks[0] = np.array([False, False, False])
+        res = simulate(streams, h, fs, write_masks=masks)
+        assert res.disk_writes == 0
+
+    def test_dirty_chunk_written_back_past_last_level(self):
+        # Capacity-1 caches at every level: a second access evicts the
+        # dirty first chunk from L1, L2 and L3 in turn -> disk write.
+        h, fs = make_system(l1=1, l2=1, l3=1)
+        streams = empty_streams()
+        masks = empty_masks()
+        streams[0] = np.array([1, 2])
+        masks[0] = np.array([True, False])
+        res = simulate(streams, h, fs, write_masks=masks)
+        assert res.disk_writes == 1
+
+    def test_dirt_propagates_through_resident_lower_level(self):
+        # L2 keeps the chunk resident, so the L1 eviction only moves the
+        # dirt to L2; nothing reaches the disk.
+        h, fs = make_system(l1=1, l2=64, l3=64)
+        streams = empty_streams()
+        masks = empty_masks()
+        streams[0] = np.array([1, 2])
+        masks[0] = np.array([True, False])
+        res = simulate(streams, h, fs, write_masks=masks)
+        assert res.disk_writes == 0
+
+    def test_misaligned_mask_rejected(self):
+        h, fs = make_system()
+        streams = empty_streams()
+        streams[0] = np.array([1, 2])
+        masks = empty_masks()
+        masks[0] = np.array([True])
+        with pytest.raises(ValueError):
+            simulate(streams, h, fs, write_masks=masks)
+
+    def test_write_back_charges_io_time(self):
+        h, fs = make_system(l1=1, l2=1, l3=1)
+        streams = empty_streams()
+        streams[0] = np.array([1, 2])
+        clean = simulate(streams, h, fs, write_masks=None)
+        masks = empty_masks()
+        masks[0] = np.array([True, False])
+        dirty = simulate(streams, h, fs, write_masks=masks)
+        assert dirty.per_client_io_ms[0] > clean.per_client_io_ms[0]
+
+
+class TestStreamsWithWrites:
+    def test_masks_align_with_requests(self):
+        ds = DataSpace([DiskArray("A", (64,))], 8)
+        refs = [
+            ArrayRef("A", [AffineExpr([1])], is_write=True),
+            ArrayRef("A", [AffineExpr([1], 32)]),
+        ]
+        nest = LoopNest("t", IterationSpace([(0, 31)]), refs)
+        mapping = Mapping("m", {0: np.arange(32)})
+        streams, masks = build_client_streams_with_writes(mapping, nest, ds)
+        assert len(streams[0]) == len(masks[0])
+        # First iteration: write ref then read ref.
+        assert masks[0][0] == True  # noqa: E712
+        assert masks[0][1] == False  # noqa: E712
+        # Half the requests come from the write reference.
+        assert masks[0].sum() * 2 == len(masks[0])
+
+
+class TestPrefetch:
+    def test_prefetch_fills_bottom_cache(self):
+        h, fs = make_system(l1=2, l2=4, l3=8)
+        streams = empty_streams()
+        streams[0] = np.array([0])
+        simulate(streams, h, fs, prefetch_degree=2, num_data_chunks=8)
+        bottom = h.path(0)[-1]
+        assert bottom.contains(1) and bottom.contains(2)  # 1 storage node
+        assert fs.total_disk_reads() == 3  # demand + 2 prefetches
+
+    def test_prefetch_hit_avoids_disk(self):
+        h, fs = make_system(l1=1, l2=1, l3=8)
+        streams = empty_streams()
+        streams[0] = np.array([0, 1])
+        res = simulate(streams, h, fs, prefetch_degree=1)
+        # Second access hits the prefetched chunk at L3.
+        assert res.level_stats["L3"].hits >= 1
+        assert res.disk_reads == 2  # 0 (demand), 1 (prefetch); no re-read
+
+    def test_prefetch_respects_chunk_bound(self):
+        h, fs = make_system()
+        streams = empty_streams()
+        streams[0] = np.array([5])  # max chunk in any stream
+        res = simulate(streams, h, fs, prefetch_degree=4)
+        assert res.disk_reads == 1  # nothing beyond the trace's chunks
+
+    def test_negative_degree_rejected(self):
+        h, fs = make_system()
+        with pytest.raises(ValueError):
+            simulate(empty_streams(), h, fs, prefetch_degree=-1)
+
+    def test_prefetch_does_not_stall_client(self):
+        h, fs = make_system(l3=64)
+        streams = empty_streams()
+        streams[0] = np.array([0])
+        plain = simulate(streams, h, fs)
+        fetched = simulate(
+            streams, h, fs, prefetch_degree=3, num_data_chunks=16
+        )
+        assert fetched.per_client_io_ms[0] == pytest.approx(
+            plain.per_client_io_ms[0]
+        )
+        assert fetched.disk_busy_ms > plain.disk_busy_ms

@@ -1,0 +1,80 @@
+"""Tests for the analytic disk model."""
+
+import pytest
+
+from repro.storage.disk import DiskModel, DiskParameters
+
+
+class TestDiskParameters:
+    def test_defaults_match_table1(self):
+        p = DiskParameters()
+        assert p.rpm == 10_000
+        assert p.capacity_gb == 40
+
+    def test_rotational_latency(self):
+        # Half a revolution at 10k RPM = 3 ms.
+        assert DiskParameters(rpm=10_000).avg_rotational_ms == pytest.approx(3.0)
+        assert DiskParameters(rpm=7_200).avg_rotational_ms == pytest.approx(
+            60_000 / 7_200 / 2
+        )
+
+    def test_transfer_time(self):
+        p = DiskParameters(transfer_mb_per_s=100.0)
+        assert p.transfer_ms(100 * 1_000_000) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskParameters(rpm=0)
+        with pytest.raises(ValueError):
+            DiskParameters(avg_seek_ms=-1)
+        with pytest.raises(ValueError):
+            DiskParameters(transfer_mb_per_s=0)
+
+
+class TestDiskModel:
+    def test_flat_cost_by_default(self):
+        d = DiskModel()
+        first = d.read_chunk(0, 64 * 1024)
+        second = d.read_chunk(1, 64 * 1024)  # sequential but no discount
+        assert first == pytest.approx(second)
+        assert d.sequential_reads == 1  # still counted
+
+    def test_sequential_discount_when_enabled(self):
+        d = DiskModel(DiskParameters(sequential_discount=True))
+        random_cost = d.read_chunk(0, 64 * 1024)
+        seq_cost = d.read_chunk(1, 64 * 1024)
+        assert seq_cost < random_cost
+        assert d.sequential_reads == 1
+
+    def test_non_sequential_pays_seek(self):
+        d = DiskModel(DiskParameters(sequential_discount=True))
+        d.read_chunk(0, 1024)
+        cost = d.read_chunk(5, 1024)
+        assert cost > d.params.transfer_ms(1024)
+        assert d.sequential_reads == 0
+
+    def test_counters(self):
+        d = DiskModel()
+        for b in (0, 1, 7):
+            d.read_chunk(b, 1024)
+        assert d.reads == 3
+        assert d.busy_ms > 0
+
+    def test_reset(self):
+        d = DiskModel()
+        d.read_chunk(0, 1024)
+        d.reset()
+        assert d.reads == 0 and d.busy_ms == 0.0
+        # After reset no block history: the next read is not sequential.
+        d2 = DiskModel(DiskParameters(sequential_discount=True))
+        d2.read_chunk(3, 1024)
+        d2.reset()
+        d2.read_chunk(4, 1024)
+        assert d2.sequential_reads == 0
+
+    def test_validation(self):
+        d = DiskModel()
+        with pytest.raises(ValueError):
+            d.read_chunk(-1, 1024)
+        with pytest.raises(ValueError):
+            d.read_chunk(0, 0)

@@ -1,0 +1,63 @@
+"""Tests for the PVFS-lite parallel file system."""
+
+import pytest
+
+from repro.storage.disk import DiskParameters
+from repro.storage.filesystem import ParallelFileSystem
+
+
+class TestParallelFileSystem:
+    def test_read_routes_to_owning_disk(self):
+        fs = ParallelFileSystem(4, chunk_bytes=64 * 1024)
+        fs.read_chunk(5)  # node 1
+        assert fs.disks[1].reads == 1
+        assert fs.disks[0].reads == 0
+
+    def test_latency_positive(self):
+        fs = ParallelFileSystem(2)
+        assert fs.read_chunk(0) > 0
+
+    def test_totals(self):
+        fs = ParallelFileSystem(2)
+        for c in range(6):
+            fs.read_chunk(c)
+        assert fs.total_disk_reads() == 6
+        assert fs.total_busy_ms() > 0
+        assert fs.disks[0].reads == 3
+        assert fs.disks[1].reads == 3
+
+    def test_reset(self):
+        fs = ParallelFileSystem(2)
+        fs.read_chunk(0)
+        fs.reset()
+        assert fs.total_disk_reads() == 0
+
+    def test_custom_disk_params(self):
+        fast = ParallelFileSystem(
+            1, disk_params=DiskParameters(avg_seek_ms=0.0, rpm=100_000)
+        )
+        slow = ParallelFileSystem(
+            1, disk_params=DiskParameters(avg_seek_ms=20.0)
+        )
+        assert fast.read_chunk(0) < slow.read_chunk(0)
+
+    def test_sequential_run_on_one_node(self):
+        # Chunks 0, 4, 8 on node 0 of 4 are consecutive blocks there.
+        fs = ParallelFileSystem(
+            4, disk_params=DiskParameters(sequential_discount=True)
+        )
+        fs.read_chunk(0)
+        fs.read_chunk(4)
+        fs.read_chunk(8)
+        assert fs.disks[0].sequential_reads == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelFileSystem(0)
+        with pytest.raises(ValueError):
+            ParallelFileSystem(2, chunk_bytes=0)
+
+    def test_storage_node_passthrough(self):
+        fs = ParallelFileSystem(4)
+        assert fs.storage_node_of(6) == 2
+        assert fs.num_storage_nodes == 4

@@ -1,0 +1,55 @@
+"""Tests for round-robin striping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.striping import StripingLayout
+
+
+class TestStripingLayout:
+    def test_round_robin(self):
+        s = StripingLayout(4)
+        assert s.storage_node_of(np.arange(8)).tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_addresses_advance_per_node(self):
+        s = StripingLayout(4)
+        assert s.block_address_of(np.array([0, 4, 8])).tolist() == [0, 1, 2]
+        assert s.block_address_of(np.array([3, 7])).tolist() == [0, 1]
+
+    def test_scalar_inputs(self):
+        s = StripingLayout(16)
+        assert s.storage_node_of(17) == 1
+        assert s.block_address_of(17) == 1
+
+    def test_chunks_on_node(self):
+        s = StripingLayout(4)
+        assert s.chunks_on_node(1, 10).tolist() == [1, 5, 9]
+
+    def test_chunks_on_node_validates(self):
+        with pytest.raises(ValueError):
+            StripingLayout(4).chunks_on_node(4, 10)
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            StripingLayout(4).storage_node_of(np.array([-1]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripingLayout(0)
+
+    @given(st.integers(1, 16), st.integers(0, 10_000))
+    def test_node_and_address_invert(self, nodes, chunk):
+        s = StripingLayout(nodes)
+        node = s.storage_node_of(chunk)
+        addr = s.block_address_of(chunk)
+        assert addr * nodes + node == chunk
+
+    @given(st.integers(1, 8), st.integers(1, 200))
+    def test_partition_property(self, nodes, num_chunks):
+        """Every chunk lives on exactly one node."""
+        s = StripingLayout(nodes)
+        seen = np.concatenate(
+            [s.chunks_on_node(n, num_chunks) for n in range(nodes)]
+        )
+        assert sorted(seen.tolist()) == list(range(num_chunks))

@@ -1,0 +1,230 @@
+"""Tests for tag bit-vectors and cluster signatures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitset import Signature, Tag, hamming_distance, popcount
+
+
+def tags(nbits=st.integers(4, 64)):
+    return nbits.flatmap(
+        lambda r: st.builds(
+            Tag,
+            st.sets(st.integers(0, r - 1), max_size=r),
+            st.just(r),
+        )
+    )
+
+
+def tag_pairs():
+    return st.integers(4, 64).flatmap(
+        lambda r: st.tuples(
+            st.builds(Tag, st.sets(st.integers(0, r - 1)), st.just(r)),
+            st.builds(Tag, st.sets(st.integers(0, r - 1)), st.just(r)),
+        )
+    )
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_powers_of_two(self):
+        for k in range(20):
+            assert popcount(1 << k) == 1
+
+    def test_all_ones(self):
+        assert popcount((1 << 12) - 1) == 12
+
+    def test_big_integer(self):
+        assert popcount((1 << 1000) | 1) == 2
+
+
+class TestTagConstruction:
+    def test_basic(self):
+        t = Tag([0, 2, 4], 12)
+        assert t.nbits == 12
+        assert t.chunks == frozenset({0, 2, 4})
+
+    def test_empty_tag_allowed(self):
+        t = Tag([], 8)
+        assert t.popcount() == 0
+
+    def test_rejects_out_of_range_chunk(self):
+        with pytest.raises(ValueError):
+            Tag([8], 8)
+
+    def test_rejects_negative_chunk(self):
+        with pytest.raises(ValueError):
+            Tag([-1], 8)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            Tag([0], 0)
+
+    def test_immutable(self):
+        t = Tag([1], 4)
+        with pytest.raises(AttributeError):
+            t.nbits = 5
+
+    def test_from_bitstring_paper_notation(self):
+        # Fig. 8: gamma1 = 101010000000 means chunks {0, 2, 4} of 12.
+        t = Tag.from_bitstring("101010000000")
+        assert t.chunks == frozenset({0, 2, 4})
+        assert t.nbits == 12
+
+    def test_bitstring_roundtrip(self):
+        s = "100101010000"
+        assert Tag.from_bitstring(s).to_bitstring() == s
+
+    def test_from_bitstring_rejects_junk(self):
+        with pytest.raises(ValueError):
+            Tag.from_bitstring("10a1")
+        with pytest.raises(ValueError):
+            Tag.from_bitstring("")
+
+    def test_from_mask_roundtrip(self):
+        t = Tag.from_mask(0b1011, 6)
+        assert t.chunks == frozenset({0, 1, 3})
+        assert t.mask == 0b1011
+
+    def test_from_mask_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            Tag.from_mask(1 << 8, 8)
+
+    def test_from_mask_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Tag.from_mask(-1, 8)
+
+
+class TestTagAlgebra:
+    def test_dot_counts_common_bits(self):
+        a = Tag.from_bitstring("101010000000")
+        b = Tag.from_bitstring("101010100000")
+        assert a.dot(b) == 3  # Fig. 8 edge weight gamma1-gamma3
+
+    def test_dot_weight_two_edge(self):
+        a = Tag.from_bitstring("101010000000")  # gamma1
+        b = Tag.from_bitstring("100010101000")  # gamma5
+        assert a.dot(b) == 2
+
+    def test_dot_disjoint_is_zero(self):
+        assert Tag([0, 1], 8).dot(Tag([2, 3], 8)) == 0
+
+    def test_dot_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Tag([0], 4).dot(Tag([0], 5))
+
+    def test_hamming_symmetric_difference(self):
+        assert Tag([0, 1, 2], 8).hamming(Tag([1, 2, 3], 8)) == 2
+
+    def test_hamming_distance_module_function(self):
+        assert hamming_distance(Tag([0], 4), Tag([0], 4)) == 0
+
+    def test_union_and_intersection(self):
+        a, b = Tag([0, 1], 8), Tag([1, 2], 8)
+        assert a.union(b).chunks == frozenset({0, 1, 2})
+        assert a.intersection(b).chunks == frozenset({1})
+
+    def test_vector_matches_bitstring(self):
+        t = Tag.from_bitstring("0110")
+        assert t.to_vector().tolist() == [0, 1, 1, 0]
+
+    def test_equality_and_hash(self):
+        assert Tag([1, 2], 8) == Tag([2, 1], 8)
+        assert hash(Tag([1, 2], 8)) == hash(Tag([2, 1], 8))
+        assert Tag([1], 8) != Tag([1], 9)
+
+    def test_iteration_sorted(self):
+        assert list(Tag([5, 1, 3], 8)) == [1, 3, 5]
+
+    def test_contains(self):
+        t = Tag([2], 4)
+        assert 2 in t and 1 not in t
+
+    @given(tag_pairs())
+    def test_dot_symmetric(self, pair):
+        a, b = pair
+        assert a.dot(b) == b.dot(a)
+
+    @given(tag_pairs())
+    def test_dot_equals_intersection_size(self, pair):
+        a, b = pair
+        assert a.dot(b) == len(a.chunks & b.chunks)
+
+    @given(tag_pairs())
+    def test_hamming_triangle_with_zero(self, pair):
+        a, b = pair
+        zero = Tag([], a.nbits)
+        assert a.hamming(b) <= a.hamming(zero) + zero.hamming(b)
+
+    @given(tags())
+    def test_self_dot_is_popcount(self, t):
+        assert t.dot(t) == t.popcount()
+
+    @given(tags())
+    def test_mask_roundtrip(self, t):
+        assert Tag.from_mask(t.mask, t.nbits) == t
+
+
+class TestSignature:
+    def test_from_tags_counts(self):
+        sig = Signature.from_tags([Tag([0, 1], 4), Tag([1, 2], 4)], 4)
+        assert sig.counts.tolist() == [1, 2, 1, 0]
+
+    def test_dot_with_tag(self):
+        sig = Signature(np.array([1, 2, 0, 3]))
+        assert sig.dot(Tag([1, 3], 4)) == 5
+
+    def test_dot_with_signature(self):
+        a = Signature(np.array([1, 2, 0]))
+        b = Signature(np.array([0, 1, 5]))
+        assert a.dot(b) == 2
+
+    def test_add_subtract_roundtrip(self):
+        sig = Signature(np.array([1, 1, 0]))
+        t = Tag([2], 3)
+        assert sig.add(t).subtract(t) == sig
+
+    def test_subtract_negative_raises(self):
+        with pytest.raises(ValueError):
+            Signature.zeros(3).subtract(Tag([0], 3))
+
+    def test_support(self):
+        sig = Signature(np.array([0, 3, 0, 1]))
+        assert sig.support().chunks == frozenset({1, 3})
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Signature.zeros(3).dot(Tag([0], 4))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            Signature(np.array([-1, 0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Signature(np.zeros((2, 2)))
+
+    def test_total(self):
+        assert Signature(np.array([1, 2, 3])).total() == 6
+
+    @given(st.lists(st.sets(st.integers(0, 15)), min_size=1, max_size=8))
+    def test_signature_dot_is_sum_of_tag_dots(self, chunksets):
+        ts = [Tag(s, 16) for s in chunksets]
+        sig = Signature.from_tags(ts, 16)
+        probe = Tag([0, 5, 9], 16)
+        assert sig.dot(probe) == sum(t.dot(probe) for t in ts)
+
+
+class TestTagSignatureBridge:
+    def test_tag_signature(self):
+        sig = Tag([1, 3], 6).signature()
+        assert sig.counts.tolist() == [0, 1, 0, 1, 0, 0]
+
+    def test_signature_copy_is_independent(self):
+        sig = Signature(np.array([1, 2]))
+        clone = sig.copy()
+        clone.counts[0] = 99
+        assert sig.counts[0] == 1

@@ -1,0 +1,74 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 5) == 5
+
+    def test_accepts_numpy_like_integral_float(self):
+        assert check_positive("x", 3.0) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -2)
+
+    def test_rejects_fraction(self):
+        with pytest.raises(TypeError):
+            check_positive("x", 2.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("x", "three")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("x", -0.1, 0.0, 1.0)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts_powers(self):
+        for k in range(10):
+            assert check_power_of_two("x", 1 << k) == 1 << k
+
+    def test_rejects_non_powers(self):
+        for v in (3, 6, 12, 100):
+            with pytest.raises(ValueError):
+                check_power_of_two("x", v)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_power_of_two("x", 0)
