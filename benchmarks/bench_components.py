@@ -98,6 +98,32 @@ def test_simulation_engine(benchmark, setup):
     assert res.total_accesses() > 0
 
 
+def test_simulation_engine_null_recorder(benchmark, setup):
+    """Tracing hook disabled: must not measurably slow the engine down
+    compared to ``test_simulation_engine`` (the recorder is normalized
+    away before the hot loop)."""
+    from repro.trace.recorder import NullRecorder
+
+    cfg = setup["config"]
+    recorder = NullRecorder()
+
+    def run():
+        fs = ParallelFileSystem(
+            cfg.num_storage_nodes, cfg.chunk_elems * 1024, cfg.disk
+        )
+        return simulate(
+            setup["streams"],
+            setup["hierarchy"],
+            fs,
+            latency=cfg.latency,
+            iterations_per_client=setup["mapping"].iteration_counts(),
+            recorder=recorder,
+        )
+
+    res = benchmark(run)
+    assert res.total_accesses() > 0
+
+
 def test_full_inter_mapping(benchmark, setup):
     mapper = InterProcessorMapper(schedule=True)
 

@@ -52,6 +52,17 @@ from repro.polyhedral import (
     LoopNest,
 )
 from repro.simulator import LatencyModel, run_experiment, simulate
+from repro.trace import (
+    MemoryRecorder,
+    NullRecorder,
+    TraceArtifact,
+    diff_artifacts,
+    diff_traces,
+    load_artifact,
+    record,
+    replay,
+    save_artifact,
+)
 from repro.workloads import SUITE, figure6_workload, figure7_hierarchy, get_workload
 
 __version__ = "1.0.0"
@@ -85,6 +96,15 @@ __all__ = [
     "LatencyModel",
     "run_experiment",
     "simulate",
+    "MemoryRecorder",
+    "NullRecorder",
+    "TraceArtifact",
+    "record",
+    "replay",
+    "save_artifact",
+    "load_artifact",
+    "diff_traces",
+    "diff_artifacts",
     "SUITE",
     "get_workload",
     "figure6_workload",

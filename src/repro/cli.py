@@ -1,13 +1,17 @@
-"""Command-line driver: ``repro <experiment>`` or ``python -m repro``.
+"""Command-line driver: ``repro <command>`` or ``python -m repro``.
 
-Regenerates any of the paper's tables/figures from the shipped harness:
+Regenerates any of the paper's tables/figures from the shipped harness
+and drives the trace subsystem:
 
 .. code-block:: console
 
    $ repro table2
    $ repro figure11
-   $ repro all            # every experiment, in paper order
-   $ repro suite          # raw per-(workload, version) metrics
+   $ repro all --scale 4   # every experiment, in paper order
+   $ repro suite           # raw per-(workload, version) metrics
+   $ repro trace record --workload hf -o hf.trace.npz
+   $ repro trace replay hf.trace.npz --cache-elems 2048,3072,12288
+   $ repro trace diff --workload hf -a original -b inter+sched
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.util.tables import format_table
 
 __all__ = ["main", "EXPERIMENTS"]
 
+#: Figure/table experiments in paper order (the ``all`` command's order).
 EXPERIMENTS = {
     "table2": table2.run,
     "figure10": figure10.run,
@@ -45,10 +50,54 @@ EXPERIMENTS = {
 }
 
 
-def _run_suite_command(args: argparse.Namespace) -> None:
-    config = (
-        config_mod.scaled_config(args.scale) if args.scale else config_mod.DEFAULT_CONFIG
-    )
+def _fail(message: str) -> int:
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _config_from(args: argparse.Namespace):
+    """Scaled config if ``--scale`` was given, else None (defaults)."""
+    scale = getattr(args, "scale", 0)
+    return config_mod.scaled_config(scale) if scale else None
+
+
+# -- experiment commands ------------------------------------------------------------
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    print(EXPERIMENTS[args.experiment](_config_from(args)).render())
+    return 0
+
+
+def _cmd_discussion(args: argparse.Namespace) -> int:
+    for report in discussion.run(_config_from(args)):
+        print(report.render())
+        print()
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    for name in EXPERIMENTS:
+        print(EXPERIMENTS[name](config).render())
+        print()
+    for report in discussion.run(config):
+        print(report.render())
+        print()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    try:
+        report = explain.run(args.workload, _config_from(args))
+    except KeyError as exc:
+        return _fail(str(exc.args[0]))
+    print(report.render())
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    config = _config_from(args) or config_mod.DEFAULT_CONFIG
     results = run_suite(config)
     if args.json:
         from repro.simulator.serialization import save_results_json
@@ -73,9 +122,165 @@ def _run_suite_command(args: argparse.Namespace) -> None:
                 ]
             )
     print(format_table(headers, rows, title="Suite: raw metrics"))
+    return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+# -- trace commands -----------------------------------------------------------------
+
+
+def _print_sim_summary(sim, title: str) -> None:
+    rows = [
+        [name, st.accesses, st.hits, st.misses, f"{st.miss_rate:.3f}"]
+        for name, st in sim.level_stats.items()
+    ]
+    print(format_table(["level", "accesses", "hits", "misses", "miss rate"],
+                       rows, title=title))
+    print(
+        f"  io latency: {sim.io_latency_ms:.1f} ms   "
+        f"execution: {sim.execution_time_ms:.1f} ms   "
+        f"disk reads/writes: {sim.disk_reads}/{sim.disk_writes}"
+    )
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.trace import (
+        MemoryRecorder,
+        record,
+        replay,
+        save_artifact,
+        write_events_jsonl,
+    )
+
+    config = _config_from(args)
+    try:
+        artifact = record(args.workload, config, args.mapper)
+    except KeyError as exc:
+        return _fail(str(exc.args[0]))
+    except ValueError as exc:
+        return _fail(str(exc))
+    try:
+        save_artifact(args.out, artifact)
+    except OSError as exc:
+        return _fail(str(exc))
+    print(
+        f"recorded {artifact.workload}/{artifact.mapper_version}: "
+        f"{artifact.num_clients} clients, {artifact.total_requests()} requests "
+        f"-> {args.out} (format v{artifact.format_version})",
+        file=sys.stderr,
+    )
+    if args.events:
+        rec = MemoryRecorder()
+        replay(artifact, recorder=rec)
+        try:
+            n = write_events_jsonl(
+                args.events,
+                rec.events,
+                meta={
+                    "workload": artifact.workload,
+                    "mapper_version": artifact.mapper_version,
+                },
+            )
+        except OSError as exc:
+            return _fail(str(exc))
+        print(f"{n} events -> {args.events}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.trace import (
+        MemoryRecorder,
+        load_artifact,
+        replay,
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    rec = MemoryRecorder()
+    replay(artifact, recorder=rec)
+    meta = {
+        "workload": artifact.workload,
+        "mapper_version": artifact.mapper_version,
+    }
+    level_names = artifact.config.build_hierarchy().level_names()
+    try:
+        if args.format == "chrome":
+            write_chrome_trace(args.out, rec.events, level_names, meta)
+        else:
+            write_events_jsonl(args.out, rec.events, meta)
+    except OSError as exc:
+        return _fail(str(exc))
+    print(
+        f"{len(rec.events)} events ({args.format}) -> {args.out}", file=sys.stderr
+    )
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.trace import load_artifact, replay, with_cache_overrides
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    config = None
+    if args.cache_elems or args.policy:
+        cache_elems = None
+        if args.cache_elems:
+            try:
+                parts = tuple(int(p) for p in args.cache_elems.split(","))
+            except ValueError:
+                return _fail(f"--cache-elems expects l1,l2,l3 integers, got {args.cache_elems!r}")
+            if len(parts) != 3:
+                return _fail("--cache-elems expects exactly three comma-separated sizes")
+            cache_elems = parts
+        config = with_cache_overrides(artifact, cache_elems, args.policy or None)
+    sim = replay(artifact, config=config, prefetch_degree=args.prefetch_degree)
+    _print_sim_summary(
+        sim, f"Replay: {artifact.workload}/{artifact.mapper_version}"
+    )
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.trace import diff_artifacts, load_artifact, record
+
+    if args.artifacts and len(args.artifacts) == 2:
+        try:
+            art_a = load_artifact(args.artifacts[0])
+            art_b = load_artifact(args.artifacts[1])
+        except (OSError, ValueError) as exc:
+            return _fail(str(exc))
+    elif args.artifacts:
+        return _fail("diff takes exactly two artifact paths (or --workload mode)")
+    elif args.workload:
+        config = _config_from(args)
+        try:
+            art_a = record(args.workload, config, args.version_a)
+            art_b = record(args.workload, config, args.version_b)
+        except KeyError as exc:
+            return _fail(str(exc.args[0]))
+        except ValueError as exc:
+            return _fail(str(exc))
+    else:
+        return _fail("diff needs two artifact paths or --workload")
+    try:
+        diff = diff_artifacts(art_a, art_b, top_n=args.top)
+    except ValueError as exc:
+        return _fail(str(exc))
+    print(diff.render())
+    return 0
+
+
+# -- parser -------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -84,54 +289,128 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["discussion", "explain", "all", "suite"],
-        help="which table/figure to regenerate",
+        "--version", action="version", version=f"repro {__version__}"
     )
-    parser.add_argument(
-        "--workload",
-        default="hf",
-        help="workload for the 'explain' analysis (default: hf)",
-    )
-    parser.add_argument(
+
+    scale_parent = argparse.ArgumentParser(add_help=False)
+    scale_parent.add_argument(
         "--scale",
         type=int,
         default=0,
         help="run at a reduced topology (e.g. 4 => 16 clients); 0 = default",
     )
-    parser.add_argument(
-        "--json",
-        default="",
-        help="for 'suite': also dump raw results to this JSON file",
-    )
-    args = parser.parse_args(argv)
 
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    for name in EXPERIMENTS:
+        p = sub.add_parser(
+            name, parents=[scale_parent], help=f"regenerate {name}"
+        )
+        p.set_defaults(func=_cmd_experiment, experiment=name)
+
+    p = sub.add_parser(
+        "discussion", parents=[scale_parent], help="the §5.4/§6 discussion analyses"
+    )
+    p.set_defaults(func=_cmd_discussion)
+
+    p = sub.add_parser(
+        "all", parents=[scale_parent], help="every experiment, in paper order"
+    )
+    p.set_defaults(func=_cmd_all)
+
+    p = sub.add_parser(
+        "explain", parents=[scale_parent], help="miss-source attribution for one workload"
+    )
+    p.add_argument(
+        "--workload", default="hf", help="workload to analyse (default: hf)"
+    )
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "suite", parents=[scale_parent], help="raw per-(workload, version) metrics"
+    )
+    p.add_argument(
+        "--json", default="", help="also dump raw results to this JSON file"
+    )
+    p.set_defaults(func=_cmd_suite)
+
+    trace = sub.add_parser("trace", help="event tracing, record/replay, mapping diffs")
+    tsub = trace.add_subparsers(dest="trace_command", required=True, metavar="action")
+
+    p = tsub.add_parser(
+        "record", parents=[scale_parent], help="record a workload artifact"
+    )
+    p.add_argument("--workload", default="hf", help="suite workload (default: hf)")
+    p.add_argument(
+        "--mapper",
+        default="inter+sched",
+        choices=VERSIONS,
+        help="mapping version to record (default: inter+sched)",
+    )
+    p.add_argument("-o", "--out", required=True, help="artifact output path (.npz)")
+    p.add_argument(
+        "--events", default="", help="also write the event trace to this JSONL file"
+    )
+    p.set_defaults(func=_cmd_trace_record)
+
+    p = tsub.add_parser("export", help="export an artifact's event trace")
+    p.add_argument("artifact", help="recorded artifact path")
+    p.add_argument(
+        "--format",
+        default="chrome",
+        choices=("chrome", "jsonl"),
+        help="chrome://tracing JSON (default) or raw JSONL events",
+    )
+    p.add_argument("-o", "--out", required=True, help="output path")
+    p.set_defaults(func=_cmd_trace_export)
+
+    p = tsub.add_parser(
+        "replay", help="re-simulate an artifact (optionally under what-if overrides)"
+    )
+    p.add_argument("artifact", help="recorded artifact path")
+    p.add_argument(
+        "--prefetch-degree", type=int, default=None, help="override prefetch degree"
+    )
+    p.add_argument(
+        "--cache-elems",
+        default="",
+        help="override per-node cache sizes, e.g. 2048,3072,12288",
+    )
+    p.add_argument("--policy", default="", help="override replacement policy")
+    p.set_defaults(func=_cmd_trace_replay)
+
+    p = tsub.add_parser(
+        "diff", parents=[scale_parent], help="diff two traces of one workload"
+    )
+    p.add_argument(
+        "artifacts", nargs="*", help="two recorded artifact paths (same workload)"
+    )
+    p.add_argument(
+        "--workload", default="", help="record-and-diff mode: suite workload"
+    )
+    p.add_argument(
+        "-a", "--version-a", default="original", choices=VERSIONS,
+        help="baseline mapping version (default: original)",
+    )
+    p.add_argument(
+        "-b", "--version-b", default="inter+sched", choices=VERSIONS,
+        help="comparison mapping version (default: inter+sched)",
+    )
+    p.add_argument(
+        "--top", type=int, default=10, help="top-N chunk movers to report"
+    )
+    p.set_defaults(func=_cmd_trace_diff)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     start = time.perf_counter()
-    if args.experiment == "suite":
-        _run_suite_command(args)
-    elif args.experiment == "discussion":
-        for report in discussion.run():
-            print(report.render())
-            print()
-    elif args.experiment == "explain":
-        config = (
-            config_mod.scaled_config(args.scale) if args.scale else None
-        )
-        print(explain.run(args.workload, config).render())
-    elif args.experiment == "all":
-        for name in ("table2", "figure10", "figure11", "figure12", "figure13", "figure14", "figure18"):
-            print(EXPERIMENTS[name]().render())
-            print()
-        for report in discussion.run():
-            print(report.render())
-            print()
-    else:
-        config = (
-            config_mod.scaled_config(args.scale) if args.scale else None
-        )
-        print(EXPERIMENTS[args.experiment](config).render())
+    status = args.func(args)
     print(f"[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
-    return 0
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,7 +7,7 @@ average improvements.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.simulator.metrics import ExperimentResult
 from repro.simulator.runner import VERSIONS, run_experiment
@@ -21,12 +21,26 @@ def run_suite(
     config,
     versions: Sequence[str] = VERSIONS,
     workloads: Iterable[Workload] | None = None,
+    recorder_factory: Callable[[str, str], object] | None = None,
 ) -> dict[str, dict[str, ExperimentResult]]:
-    """Run every (workload, version) pair: ``{workload: {version: result}}``."""
+    """Run every (workload, version) pair: ``{workload: {version: result}}``.
+
+    ``recorder_factory(workload_name, version)`` may return a fresh
+    :class:`repro.trace.recorder.TraceRecorder` per run; the recorder
+    receives that run's event trace and is attached to the result as
+    ``extra["trace"]``.
+    """
     workloads = list(workloads) if workloads is not None else list(SUITE)
     out: dict[str, dict[str, ExperimentResult]] = {}
     for w in workloads:
-        out[w.name] = {v: run_experiment(w, config, v) for v in versions}
+        per_version: dict[str, ExperimentResult] = {}
+        for v in versions:
+            recorder = recorder_factory(w.name, v) if recorder_factory else None
+            result = run_experiment(w, config, v, recorder=recorder)
+            if recorder is not None:
+                result.extra["trace"] = recorder
+            per_version[v] = result
+        out[w.name] = per_version
     return out
 
 

@@ -12,7 +12,13 @@ one (workload, topology, mapper) experiment end to end.
 from repro.simulator.streams import build_client_streams
 from repro.simulator.engine import LatencyModel, simulate
 from repro.simulator.metrics import SimulationResult, ExperimentResult
-from repro.simulator.runner import run_experiment, VERSIONS, make_mapper
+from repro.simulator.runner import (
+    run_experiment,
+    prepare_experiment,
+    PreparedExperiment,
+    VERSIONS,
+    make_mapper,
+)
 
 __all__ = [
     "build_client_streams",
@@ -21,6 +27,8 @@ __all__ = [
     "SimulationResult",
     "ExperimentResult",
     "run_experiment",
+    "prepare_experiment",
+    "PreparedExperiment",
     "VERSIONS",
     "make_mapper",
 ]

@@ -85,6 +85,7 @@ def simulate(
     write_masks: dict[int, np.ndarray] | None = None,
     prefetch_degree: int = 0,
     num_data_chunks: int | None = None,
+    recorder=None,
 ) -> SimulationResult:
     """Run the interleaved simulation; caches/disks are reset first.
 
@@ -115,6 +116,12 @@ def simulate(
         Upper bound for prefetch targets (the data space size); without
         it the prefetcher stops at the largest chunk id seen in the
         streams.
+    recorder:
+        Optional :class:`repro.trace.recorder.TraceRecorder` receiving
+        one event per access/fill/evict/prefetch/write-back/sync.
+        ``None`` (default) and recorders whose ``enabled`` attribute is
+        false are detected once up front, so tracing adds no work to the
+        hot loop when disabled.
     """
     latency = latency or LatencyModel()
     k = hierarchy.num_clients
@@ -132,6 +139,9 @@ def simulate(
         for c in range(k):
             if len(write_masks.get(c, ())) != len(streams[c]):
                 raise ValueError(f"write mask of client {c} misaligned")
+    # A disabled recorder (None or enabled=False) is normalised to None
+    # here, outside the hot loop.
+    rec = recorder if recorder is not None and getattr(recorder, "enabled", True) else None
     hierarchy.reset()
     filesystem.reset()
 
@@ -162,6 +172,8 @@ def simulate(
             for cache in paths[c]:
                 dirty.setdefault(id(cache), set())
 
+    step = 0  # global access index, stamped on trace events
+
     def evict_writeback(c: int, level: int, victim: int) -> None:
         """Propagate a dirty eviction down the path from ``level``."""
         path = paths[c]
@@ -174,7 +186,13 @@ def simulate(
             if lower_cache.contains(victim):
                 dirty[id(lower_cache)].add(victim)
                 return
-        io_ms[c] += filesystem.write_chunk(victim)
+        wb_ms = filesystem.write_chunk(victim)
+        io_ms[c] += wb_ms
+        if rec is not None:
+            rec.writeback(step, c, victim, wb_ms)
+
+    def is_dirty(cache, victim: int) -> bool:
+        return mask_lists is not None and victim in dirty[id(cache)]
 
     fs_read = filesystem.read_chunk
     seen: set = set()
@@ -192,28 +210,48 @@ def simulate(
                 break
             level += 1
         if hit_level >= 0:
-            io_ms[c] += hit_cost[hit_level]
+            cost = hit_cost[hit_level]
             fill_to = hit_level
         else:
-            io_ms[c] += miss_base + fs_read(chunk)
+            cost = miss_base + fs_read(chunk)
             fill_to = num_levels
-            if prefetch_degree:
-                bottom = path[-1]
-                for ahead in range(1, prefetch_degree + 1):
-                    nxt = chunk + ahead * stride
-                    if nxt > max_chunk or bottom.contains(nxt):
-                        continue
-                    filesystem.read_chunk(nxt)  # disk busy, no client stall
-                    victim = bottom.fill(nxt)
-                    if victim is not None and mask_lists is not None:
+        io_ms[c] += cost
+        if rec is not None:
+            rec.access(
+                step, c, chunk, hit_level, cost,
+                mask_lists is not None and mask_lists[c][p], cold,
+            )
+        if hit_level < 0 and prefetch_degree:
+            bottom = path[-1]
+            for ahead in range(1, prefetch_degree + 1):
+                nxt = chunk + ahead * stride
+                if nxt > max_chunk or bottom.contains(nxt):
+                    continue
+                filesystem.read_chunk(nxt)  # disk busy, no client stall
+                if rec is not None:
+                    rec.prefetch(step, c, bottom.name, nxt)
+                victim = bottom.fill(nxt)
+                if victim is not None:
+                    if rec is not None:
+                        rec.evict(
+                            step, c, bottom.name, num_levels - 1, victim,
+                            is_dirty(bottom, victim),
+                        )
+                    if mask_lists is not None:
                         evict_writeback(c, num_levels - 1, victim)
         # Inclusive fill of every level that missed.
         for l in range(fill_to):
-            victim = path[l].fill(chunk)
+            cache = path[l]
+            victim = cache.fill(chunk)
+            if rec is not None:
+                rec.fill(step, c, cache.name, l, chunk)
+                if victim is not None:
+                    rec.evict(step, c, cache.name, l, victim, is_dirty(cache, victim))
             if victim is not None and mask_lists is not None:
                 evict_writeback(c, l, victim)
         if mask_lists is not None and mask_lists[c][p]:
             dirty[id(path[0])].add(chunk)
+        step += 1
 
     # Compute time: per-iteration cost.
     compute_ms = np.zeros(k, dtype=np.float64)
@@ -225,6 +263,8 @@ def simulate(
     if sync_counts:
         for c, n in sync_counts.items():
             sync_ms[c] = n * latency.sync_stall_ms
+            if rec is not None and n:
+                rec.sync(c, n, float(sync_ms[c]))
 
     level_stats = {}
     for name in hierarchy.level_names():

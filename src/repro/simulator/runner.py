@@ -6,16 +6,24 @@ The three versions of §5.1 plus the §5.4 scheduling enhancement:
 * ``intra``        — locality-transformed (permutation+tiling) blocked;
 * ``inter``        — Fig. 5 distribution, random chunk order;
 * ``inter+sched``  — Fig. 5 distribution + Fig. 15 scheduling.
+
+The expensive stage (chunking, clustering, mapping, stream generation)
+is factored into :func:`prepare_experiment` so the trace subsystem can
+capture its output once and re-simulate it many times
+(:mod:`repro.trace.replay`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.baselines import IntraProcessorMapper, OriginalMapper
 from repro.core.mapper import InterProcessorMapper
+from repro.core.mapping import Mapping
+from repro.hierarchy.topology import CacheHierarchy
 from repro.simulator.engine import simulate
 from repro.simulator.metrics import ExperimentResult
 from repro.simulator.streams import (
@@ -28,8 +36,9 @@ from repro.workloads.base import Workload, WorkloadParams
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.config import SystemConfig
+    from repro.trace.recorder import TraceRecorder
 
-__all__ = ["VERSIONS", "make_mapper", "run_experiment"]
+__all__ = ["VERSIONS", "make_mapper", "prepare_experiment", "run_experiment", "PreparedExperiment"]
 
 VERSIONS = ("original", "intra", "inter", "inter+sched")
 
@@ -54,18 +63,27 @@ def make_mapper(version: str, config: "SystemConfig"):
     raise ValueError(f"unknown version {version!r}; choose from {VERSIONS}")
 
 
-def run_experiment(
+@dataclass
+class PreparedExperiment:
+    """Everything the simulator needs, with the mapping stage done."""
+
+    workload: str
+    version: str
+    streams: dict[int, np.ndarray]
+    write_masks: dict[int, np.ndarray] | None
+    iterations_per_client: dict[int, int]
+    num_data_chunks: int
+    mapping: Mapping
+    hierarchy: CacheHierarchy
+    filesystem: ParallelFileSystem
+
+
+def prepare_experiment(
     workload: Workload,
     config: "SystemConfig",
     version: str,
-    sync_counts: dict[int, int] | None = None,
-) -> ExperimentResult:
-    """Map and simulate one workload under one version.
-
-    All eight suite workloads are mapped as fully parallel iteration
-    sets (paper §3 — parallelization is orthogonal); the §5.4
-    dependence experiments pass explicit ``sync_counts``.
-    """
+) -> PreparedExperiment:
+    """Run the expensive stage: build, map, validate, generate streams."""
     params = WorkloadParams(
         chunk_elems=config.chunk_elems, data_chunks=config.data_chunks
     )
@@ -88,21 +106,51 @@ def run_experiment(
     else:
         streams = build_client_streams(mapping, nest, data_space)
         write_masks = None
+    return PreparedExperiment(
+        workload=workload.name,
+        version=version,
+        streams=streams,
+        write_masks=write_masks,
+        iterations_per_client=mapping.iteration_counts(),
+        num_data_chunks=data_space.num_chunks,
+        mapping=mapping,
+        hierarchy=hierarchy,
+        filesystem=filesystem,
+    )
+
+
+def run_experiment(
+    workload: Workload,
+    config: "SystemConfig",
+    version: str,
+    sync_counts: dict[int, int] | None = None,
+    recorder: "TraceRecorder | None" = None,
+) -> ExperimentResult:
+    """Map and simulate one workload under one version.
+
+    All eight suite workloads are mapped as fully parallel iteration
+    sets (paper §3 — parallelization is orthogonal); the §5.4
+    dependence experiments pass explicit ``sync_counts``.  An optional
+    ``recorder`` receives the simulation's event trace
+    (:mod:`repro.trace`).
+    """
+    prep = prepare_experiment(workload, config, version)
     sim = simulate(
-        streams,
-        hierarchy,
-        filesystem,
+        prep.streams,
+        prep.hierarchy,
+        prep.filesystem,
         latency=config.latency,
         sync_counts=sync_counts,
-        iterations_per_client=mapping.iteration_counts(),
-        write_masks=write_masks,
+        iterations_per_client=prep.iterations_per_client,
+        write_masks=prep.write_masks,
         prefetch_degree=config.prefetch_degree,
-        num_data_chunks=data_space.num_chunks,
+        num_data_chunks=prep.num_data_chunks,
+        recorder=recorder,
     )
     return ExperimentResult(
         workload=workload.name,
         version=version,
         sim=sim,
-        mapping_time_s=mapping.mapping_time_s,
-        extra={"imbalance": mapping.imbalance()},
+        mapping_time_s=prep.mapping.mapping_time_s,
+        extra={"imbalance": prep.mapping.imbalance()},
     )

@@ -1,0 +1,215 @@
+"""Mapping diffs: explain why one mapping beats another.
+
+Aligns two event traces of the *same workload* under different mappers
+and reports, in the vocabulary of the paper's §5.2 discussion:
+
+* **per-level hit deltas** — how many requests moved between L1/L2/L3
+  hits and full misses (the aggregate Figs. 8-9 argue about);
+* **first divergence** — the first global step at which the two runs'
+  (client, chunk, outcome) triples differ;
+* **top chunk movers** — the chunks whose serving level shifted most,
+  i.e. the concrete data whose placement the mapping changed.
+
+The usual entry point is :func:`diff_artifacts`, which replays two
+recorded artifacts (:mod:`repro.trace.replay`) with memory recorders and
+diffs the resulting traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.trace.events import Access, TraceEvent, hit_level_label
+from repro.trace.recorder import MemoryRecorder
+from repro.trace.replay import TraceArtifact, replay
+from repro.util.tables import format_table
+
+__all__ = ["ChunkMove", "TraceDiff", "diff_traces", "diff_artifacts"]
+
+
+@dataclass(frozen=True)
+class ChunkMove:
+    """One chunk whose serving-level distribution changed between traces."""
+
+    chunk: int
+    moved: int  # total |count delta| across levels (incl. miss bucket)
+    dominant_a: str  # level serving most of the chunk's accesses in trace a
+    dominant_b: str
+    counts_a: dict[str, int] = field(default_factory=dict)
+    counts_b: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class TraceDiff:
+    """The aligned comparison of two traces of one workload."""
+
+    label_a: str
+    label_b: str
+    level_order: list[str]  # level names leaf-first, then "miss"
+    hits_a: dict[str, int]
+    hits_b: dict[str, int]
+    accesses_a: int
+    accesses_b: int
+    first_divergence: int | None
+    divergence_a: Access | None
+    divergence_b: Access | None
+    movers: list[ChunkMove]
+
+    @property
+    def hit_deltas(self) -> dict[str, int]:
+        """Per-level served-request deltas, ``b - a`` (negative = fewer)."""
+        return {
+            lvl: self.hits_b.get(lvl, 0) - self.hits_a.get(lvl, 0)
+            for lvl in self.level_order
+        }
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two traces have identical per-level behaviour."""
+        return all(d == 0 for d in self.hit_deltas.values()) and not self.movers
+
+    def render(self) -> str:
+        rows = []
+        for lvl in self.level_order:
+            a, b = self.hits_a.get(lvl, 0), self.hits_b.get(lvl, 0)
+            rows.append([lvl, a, b, f"{b - a:+d}"])
+        rows.append(["requests", self.accesses_a, self.accesses_b,
+                     f"{self.accesses_b - self.accesses_a:+d}"])
+        out = format_table(
+            ["served by", self.label_a, self.label_b, "delta"],
+            rows,
+            title=f"Trace diff: {self.label_a} vs {self.label_b}",
+        )
+        if self.first_divergence is None:
+            out += "\n  traces identical step for step"
+        else:
+            out += f"\n  first divergence at step {self.first_divergence}"
+            if self.divergence_a and self.divergence_b:
+                da, db = self.divergence_a, self.divergence_b
+                out += (
+                    f": {self.label_a} -> client {da.client} chunk {da.chunk} "
+                    f"({hit_level_label(da.hit_level, self.level_order)}), "
+                    f"{self.label_b} -> client {db.client} chunk {db.chunk} "
+                    f"({hit_level_label(db.hit_level, self.level_order)})"
+                )
+            elif self.divergence_a or self.divergence_b:
+                shorter = self.label_b if self.divergence_a else self.label_a
+                out += f" ({shorter} ends first)"
+        if self.movers:
+            mover_rows = [
+                [m.chunk, m.dominant_a, m.dominant_b, m.moved] for m in self.movers
+            ]
+            out += "\n" + format_table(
+                ["chunk", f"mostly in ({self.label_a})",
+                 f"mostly in ({self.label_b})", "accesses moved"],
+                mover_rows,
+                title="Top chunks whose placement changed",
+            )
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _level_counts(
+    accesses: list[Access], level_names: Sequence[str]
+) -> tuple[dict[str, int], dict[int, Counter]]:
+    """Aggregate (per-level totals, per-chunk per-level counters)."""
+    totals: Counter[str] = Counter()
+    per_chunk: dict[int, Counter] = defaultdict(Counter)
+    for e in accesses:
+        label = hit_level_label(e.hit_level, level_names)
+        totals[label] += 1
+        per_chunk[e.chunk][label] += 1
+    return dict(totals), per_chunk
+
+
+def diff_traces(
+    events_a: Sequence[TraceEvent],
+    events_b: Sequence[TraceEvent],
+    level_names: Sequence[str] = ("L1", "L2", "L3"),
+    top_n: int = 10,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> TraceDiff:
+    """Compare two event traces of the same workload."""
+    acc_a = [e for e in events_a if isinstance(e, Access)]
+    acc_b = [e for e in events_b if isinstance(e, Access)]
+
+    totals_a, chunks_a = _level_counts(acc_a, level_names)
+    totals_b, chunks_b = _level_counts(acc_b, level_names)
+
+    # First step where the (client, chunk, outcome) triples differ.
+    first_div: int | None = None
+    div_a: Access | None = None
+    div_b: Access | None = None
+    for i, (ea, eb) in enumerate(zip(acc_a, acc_b)):
+        if (ea.client, ea.chunk, ea.hit_level) != (eb.client, eb.chunk, eb.hit_level):
+            first_div, div_a, div_b = i, ea, eb
+            break
+    else:
+        if len(acc_a) != len(acc_b):
+            first_div = min(len(acc_a), len(acc_b))
+            div_a = acc_a[first_div] if first_div < len(acc_a) else None
+            div_b = acc_b[first_div] if first_div < len(acc_b) else None
+
+    level_order = list(level_names) + ["miss"]
+    movers: list[ChunkMove] = []
+    for chunk in sorted(set(chunks_a) | set(chunks_b)):
+        ca, cb = chunks_a.get(chunk, Counter()), chunks_b.get(chunk, Counter())
+        moved = sum(abs(cb.get(lvl, 0) - ca.get(lvl, 0)) for lvl in level_order)
+        if moved == 0:
+            continue
+        movers.append(
+            ChunkMove(
+                chunk=chunk,
+                moved=moved,
+                dominant_a=max(level_order, key=lambda l: ca.get(l, 0)) if ca else "-",
+                dominant_b=max(level_order, key=lambda l: cb.get(l, 0)) if cb else "-",
+                counts_a=dict(ca),
+                counts_b=dict(cb),
+            )
+        )
+    movers.sort(key=lambda m: (-m.moved, m.chunk))
+
+    return TraceDiff(
+        label_a=label_a,
+        label_b=label_b,
+        level_order=level_order,
+        hits_a=totals_a,
+        hits_b=totals_b,
+        accesses_a=len(acc_a),
+        accesses_b=len(acc_b),
+        first_divergence=first_div,
+        divergence_a=div_a,
+        divergence_b=div_b,
+        movers=movers[:top_n],
+    )
+
+
+def diff_artifacts(
+    artifact_a: TraceArtifact,
+    artifact_b: TraceArtifact,
+    top_n: int = 10,
+) -> TraceDiff:
+    """Replay two artifacts of the same workload and diff their traces."""
+    if artifact_a.workload != artifact_b.workload:
+        raise ValueError(
+            f"artifacts trace different workloads: "
+            f"{artifact_a.workload!r} vs {artifact_b.workload!r}"
+        )
+    hierarchy = artifact_a.config.build_hierarchy()
+    level_names = hierarchy.level_names()
+    rec_a, rec_b = MemoryRecorder(), MemoryRecorder()
+    replay(artifact_a, recorder=rec_a)
+    replay(artifact_b, recorder=rec_b)
+    return diff_traces(
+        rec_a.events,
+        rec_b.events,
+        level_names=level_names,
+        top_n=top_n,
+        label_a=artifact_a.mapper_version or "a",
+        label_b=artifact_b.mapper_version or "b",
+    )

@@ -1,0 +1,169 @@
+"""The trace event model: what one simulation step can emit.
+
+Six event kinds cover everything the engine does to the storage
+hierarchy (the quantities Figs. 8-9 and §5.2 of the paper reason
+about):
+
+* **ACCESS** — one client request: which chunk, which level served it
+  (``hit_level``, ``-1`` for a full miss) and the charged cost;
+* **FILL** / **EVICT** — a chunk entering / leaving a named cache
+  (inclusive fills on the miss path, victim selection by the policy);
+* **PREFETCH** — a read-ahead staged into the bottom cache;
+* **WRITEBACK** — a dirty victim reaching the disks;
+* **SYNC** — cross-client dependence stalls charged to a client.
+
+Events are small frozen dataclasses with ``slots`` (a large run emits
+millions); every kind round-trips through a plain dict for the JSONL
+exporter (:mod:`repro.trace.export`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import Any, ClassVar, Sequence
+
+__all__ = [
+    "MISS_LEVEL",
+    "EventKind",
+    "TraceEvent",
+    "Access",
+    "Fill",
+    "Evict",
+    "Prefetch",
+    "Writeback",
+    "Sync",
+    "event_from_dict",
+    "hit_level_label",
+]
+
+#: ``hit_level`` of an :class:`Access` that fell through every cache.
+MISS_LEVEL = -1
+
+
+class EventKind(str, Enum):
+    """Discriminator tag of one trace event."""
+
+    ACCESS = "access"
+    FILL = "fill"
+    EVICT = "evict"
+    PREFETCH = "prefetch"
+    WRITEBACK = "writeback"
+    SYNC = "sync"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base class; concrete kinds carry their own fields."""
+
+    kind: ClassVar[EventKind]
+
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["kind"] = self.kind.value
+        return d
+
+
+@dataclass(frozen=True, slots=True)
+class Access(TraceEvent):
+    """One client request and its outcome.
+
+    ``hit_level`` is the 0-based cache level that served the request
+    (:data:`MISS_LEVEL` for a disk-served full miss); ``cost_ms`` is the
+    I/O time charged to the client, including disk time on a miss.
+    """
+
+    kind: ClassVar[EventKind] = EventKind.ACCESS
+
+    step: int
+    client: int
+    chunk: int
+    hit_level: int
+    cost_ms: float
+    write: bool = False
+    cold: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Fill(TraceEvent):
+    """A chunk filled into the cache named ``cache`` at path ``level``."""
+
+    kind: ClassVar[EventKind] = EventKind.FILL
+
+    step: int
+    client: int
+    cache: str
+    level: int
+    chunk: int
+
+
+@dataclass(frozen=True, slots=True)
+class Evict(TraceEvent):
+    """A victim chosen by ``cache``'s policy to make room for a fill."""
+
+    kind: ClassVar[EventKind] = EventKind.EVICT
+
+    step: int
+    client: int
+    cache: str
+    level: int
+    victim: int
+    dirty: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Prefetch(TraceEvent):
+    """A sequential read-ahead staged into the bottom cache ``cache``."""
+
+    kind: ClassVar[EventKind] = EventKind.PREFETCH
+
+    step: int
+    client: int
+    cache: str
+    chunk: int
+
+
+@dataclass(frozen=True, slots=True)
+class Writeback(TraceEvent):
+    """A dirty victim written back to disk, charged ``cost_ms``."""
+
+    kind: ClassVar[EventKind] = EventKind.WRITEBACK
+
+    step: int
+    client: int
+    chunk: int
+    cost_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class Sync(TraceEvent):
+    """Synchronisation stalls charged to one client (end-of-run)."""
+
+    kind: ClassVar[EventKind] = EventKind.SYNC
+
+    client: int
+    count: int
+    cost_ms: float
+
+
+_KIND_TO_CLASS: dict[str, type[TraceEvent]] = {
+    cls.kind.value: cls  # type: ignore[misc]
+    for cls in (Access, Fill, Evict, Prefetch, Writeback, Sync)
+}
+
+
+def event_from_dict(d: dict[str, Any]) -> TraceEvent:
+    """Reconstruct an event from its :meth:`TraceEvent.to_dict` form."""
+    fields = dict(d)
+    kind = fields.pop("kind", None)
+    cls = _KIND_TO_CLASS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace event kind {kind!r}")
+    return cls(**fields)
+
+
+def hit_level_label(hit_level: int, level_names: Sequence[str]) -> str:
+    """Human label for an :class:`Access` outcome (``"miss"`` past the end)."""
+    if 0 <= hit_level < len(level_names):
+        return level_names[hit_level]
+    return "miss"

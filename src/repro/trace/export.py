@@ -1,0 +1,217 @@
+"""Trace exporters: JSONL event logs and Chrome-trace timelines.
+
+Two interchange formats:
+
+* **JSONL** — one JSON object per event, preceded by a header record
+  carrying a format version and free-form metadata; loss-free
+  (``read_events_jsonl`` reconstructs the exact event objects).
+* **Chrome trace format** — a ``chrome://tracing`` / Perfetto-loadable
+  JSON document: one timeline row per client, one duration slice per
+  access colour-banded by the level that served it, instant markers for
+  prefetches and write-backs.  Load the file via "Open trace file" in
+  either UI to see where in the hierarchy each client's reuse lands.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable, Sequence
+
+from repro.trace.events import (
+    Access,
+    Prefetch,
+    TraceEvent,
+    Writeback,
+    event_from_dict,
+    hit_level_label,
+)
+
+__all__ = [
+    "EVENTS_FORMAT_VERSION",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Version of the JSONL event-log header record.
+EVENTS_FORMAT_VERSION = 1
+
+_HEADER_RECORD = "repro-trace-events"
+
+#: Reserved Chrome-trace colour names per hit level, then the miss band.
+_LEVEL_COLORS = ("good", "yellow", "bad")
+_MISS_COLOR = "terrible"
+
+
+def write_events_jsonl(
+    path: str | pathlib.Path,
+    events: Iterable[TraceEvent],
+    meta: dict[str, Any] | None = None,
+) -> int:
+    """Write a header line plus one JSON object per event; returns the count."""
+    n = 0
+    with open(path, "w") as f:
+        header = {
+            "record": _HEADER_RECORD,
+            "version": EVENTS_FORMAT_VERSION,
+            "meta": dict(meta or {}),
+        }
+        f.write(json.dumps(header) + "\n")
+        for ev in events:
+            f.write(json.dumps(ev.to_dict()) + "\n")
+            n += 1
+    return n
+
+
+def read_events_jsonl(
+    path: str | pathlib.Path,
+) -> tuple[dict[str, Any], list[TraceEvent]]:
+    """Load ``(meta, events)`` from a file written by :func:`write_events_jsonl`."""
+    with open(path) as f:
+        first = f.readline()
+        if not first:
+            raise ValueError(f"{path}: empty trace event file")
+        header = json.loads(first)
+        if header.get("record") != _HEADER_RECORD:
+            raise ValueError(f"{path}: not a repro trace event file")
+        version = header.get("version")
+        if version != EVENTS_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported event-log version {version!r} "
+                f"(this build reads v{EVENTS_FORMAT_VERSION})"
+            )
+        events = [event_from_dict(json.loads(line)) for line in f if line.strip()]
+    return header.get("meta", {}), events
+
+
+def _access_color(hit_level: int) -> str:
+    if hit_level < 0:
+        return _MISS_COLOR
+    return _LEVEL_COLORS[min(hit_level, len(_LEVEL_COLORS) - 1)]
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    level_names: Sequence[str] = ("L1", "L2", "L3"),
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Render events as a Chrome-trace document (one timeline per client).
+
+    Each client advances its own clock by the cost of its accesses (and
+    write-backs), matching the engine's per-client I/O accounting; an
+    access shows as a slice named after its chunk, categorised and
+    colour-banded by the serving level.
+    """
+    trace_events: list[dict[str, Any]] = []
+    clocks: dict[int, float] = {}  # client -> elapsed microseconds
+    clients_seen: set[int] = set()
+
+    for ev in events:
+        if isinstance(ev, Access):
+            clients_seen.add(ev.client)
+            ts = clocks.get(ev.client, 0.0)
+            dur = ev.cost_ms * 1000.0
+            label = hit_level_label(ev.hit_level, level_names)
+            trace_events.append(
+                {
+                    "name": f"chunk {ev.chunk}",
+                    "cat": label if ev.hit_level >= 0 else "miss",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": dur,
+                    "pid": 0,
+                    "tid": ev.client,
+                    "cname": _access_color(ev.hit_level),
+                    "args": {
+                        "chunk": ev.chunk,
+                        "served_by": label,
+                        "write": ev.write,
+                        "cold": ev.cold,
+                        "step": ev.step,
+                    },
+                }
+            )
+            clocks[ev.client] = ts + dur
+        elif isinstance(ev, Writeback):
+            clients_seen.add(ev.client)
+            ts = clocks.get(ev.client, 0.0)
+            dur = ev.cost_ms * 1000.0
+            trace_events.append(
+                {
+                    "name": f"writeback {ev.chunk}",
+                    "cat": "writeback",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": dur,
+                    "pid": 0,
+                    "tid": ev.client,
+                    "cname": "grey",
+                    "args": {"chunk": ev.chunk, "step": ev.step},
+                }
+            )
+            clocks[ev.client] = ts + dur
+        elif isinstance(ev, Prefetch):
+            clients_seen.add(ev.client)
+            trace_events.append(
+                {
+                    "name": f"prefetch {ev.chunk}",
+                    "cat": "prefetch",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": clocks.get(ev.client, 0.0),
+                    "pid": 0,
+                    "tid": ev.client,
+                    "args": {"chunk": ev.chunk, "cache": ev.cache},
+                }
+            )
+        # Fill/Evict/Sync are bookkeeping, not timeline slices.
+
+    name_meta: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    for c in sorted(clients_seen):
+        name_meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": c,
+                "args": {"name": f"client {c}"},
+            }
+        )
+        name_meta.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 0,
+                "tid": c,
+                "args": {"sort_index": c},
+            }
+        )
+
+    return {
+        "traceEvents": name_meta + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format_version": EVENTS_FORMAT_VERSION,
+            **(meta or {}),
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path,
+    events: Iterable[TraceEvent],
+    level_names: Sequence[str] = ("L1", "L2", "L3"),
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Write a Chrome-trace JSON document for ``chrome://tracing``/Perfetto."""
+    doc = to_chrome_trace(events, level_names, meta)
+    pathlib.Path(path).write_text(json.dumps(doc) + "\n")

@@ -1,5 +1,7 @@
 """Tests for the command-line driver."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -38,6 +40,18 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["figure99"])
 
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro 1.0.0" in capsys.readouterr().out
+
 
 class TestExplainCommand:
     def test_explain_scaled(self, capsys):
@@ -46,13 +60,188 @@ class TestExplainCommand:
         assert "Explain (sar)" in out
         assert "inter+sched" in out
 
+    def test_unknown_workload_exit_code(self, capsys):
+        assert main(["explain", "--workload", "nosuch", "--scale", "16"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+
+
+class TestAllCommand:
+    def test_scale_threaded_to_every_experiment(self, monkeypatch, capsys):
+        """`repro all --scale N` must pass the scaled config everywhere
+        (it used to silently run every experiment at full size)."""
+        from repro import cli as cli_mod
+        from repro.experiments.report import ExperimentReport
+
+        seen: list = []
+
+        def stub_run(config=None):
+            seen.append(config)
+            return ExperimentReport("stub", "stub", ["x"], [["y"]])
+
+        def stub_discussion(config=None):
+            seen.append(config)
+            return []
+
+        monkeypatch.setattr(
+            cli_mod, "EXPERIMENTS", {name: stub_run for name in EXPERIMENTS}
+        )
+        monkeypatch.setattr(cli_mod.discussion, "run", stub_discussion)
+        assert main(["all", "--scale", "16"]) == 0
+        assert len(seen) == len(EXPERIMENTS) + 1  # every figure + discussion
+        assert all(c is not None and c.num_clients == 4 for c in seen)
+
+    def test_experiment_list_derived_from_registry(self, monkeypatch, capsys):
+        from repro import cli as cli_mod
+        from repro.experiments.report import ExperimentReport
+
+        ran: list[str] = []
+        monkeypatch.setattr(
+            cli_mod,
+            "EXPERIMENTS",
+            {
+                name: (lambda n: lambda config=None: (
+                    ran.append(n), ExperimentReport(n, n, ["x"], [])
+                )[1])(name)
+                for name in EXPERIMENTS
+            },
+        )
+        monkeypatch.setattr(cli_mod.discussion, "run", lambda config=None: [])
+        assert main(["all", "--scale", "16"]) == 0
+        assert ran == list(EXPERIMENTS)
+
 
 class TestJsonExport:
     def test_suite_json(self, capsys, tmp_path):
         out_file = tmp_path / "r.json"
         assert main(["suite", "--scale", "16", "--json", str(out_file)]) == 0
         assert out_file.exists()
-        import json
 
         data = json.loads(out_file.read_text())
         assert "hf" in data and "inter" in data["hf"]
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def recorded(self, tmp_path):
+        path = tmp_path / "hf.trace.npz"
+        assert main([
+            "trace", "record", "--workload", "hf", "--scale", "16",
+            "-o", str(path),
+        ]) == 0
+        return path
+
+    def test_record_writes_artifact(self, tmp_path, capsys):
+        path = tmp_path / "hf.trace.npz"
+        assert main([
+            "trace", "record", "--workload", "hf", "--scale", "16",
+            "-o", str(path),
+        ]) == 0
+        assert path.exists()
+        assert "recorded hf/inter+sched" in capsys.readouterr().err
+
+    def test_record_unknown_workload_exit_code(self, tmp_path, capsys):
+        assert main([
+            "trace", "record", "--workload", "nosuch", "--scale", "16",
+            "-o", str(tmp_path / "x.npz"),
+        ]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_record_with_events_jsonl(self, tmp_path, capsys):
+        art = tmp_path / "hf.trace.npz"
+        events = tmp_path / "hf.events.jsonl"
+        assert main([
+            "trace", "record", "--workload", "hf", "--scale", "16",
+            "-o", str(art), "--events", str(events),
+        ]) == 0
+        from repro.trace import read_events_jsonl
+
+        meta, evs = read_events_jsonl(events)
+        assert meta["workload"] == "hf"
+        assert evs
+
+    def test_replay_prints_summary(self, recorded, capsys):
+        assert main(["trace", "replay", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "Replay: hf/inter+sched" in out
+        assert "miss rate" in out
+
+    def test_replay_with_overrides(self, recorded, capsys):
+        assert main([
+            "trace", "replay", str(recorded),
+            "--cache-elems", "2048,4096,16384", "--policy", "fifo",
+            "--prefetch-degree", "1",
+        ]) == 0
+        assert "Replay" in capsys.readouterr().out
+
+    def test_replay_bad_cache_elems_exit_code(self, recorded, capsys):
+        assert main([
+            "trace", "replay", str(recorded), "--cache-elems", "1,2",
+        ]) == 2
+        assert main([
+            "trace", "replay", str(recorded), "--cache-elems", "a,b,c",
+        ]) == 2
+
+    def test_replay_missing_artifact_exit_code(self, tmp_path, capsys):
+        assert main(["trace", "replay", str(tmp_path / "missing.npz")]) == 2
+
+    def test_record_unwritable_output_exit_code(self, tmp_path, capsys):
+        assert main([
+            "trace", "record", "--workload", "hf", "--scale", "16",
+            "-o", str(tmp_path / "no" / "such" / "dir" / "x.npz"),
+        ]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_export_unwritable_output_exit_code(self, recorded, capsys):
+        assert main([
+            "trace", "export", str(recorded),
+            "-o", str(recorded.parent / "no" / "such" / "t.json"),
+        ]) == 2
+
+    def test_export_chrome(self, recorded, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "export", str(recorded), "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_export_jsonl(self, recorded, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        assert main([
+            "trace", "export", str(recorded), "--format", "jsonl",
+            "-o", str(out),
+        ]) == 0
+        from repro.trace import read_events_jsonl
+
+        _, evs = read_events_jsonl(out)
+        assert evs
+
+    def test_diff_from_artifacts(self, tmp_path, capsys):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        assert main([
+            "trace", "record", "--workload", "hf", "--scale", "16",
+            "--mapper", "original", "-o", str(a),
+        ]) == 0
+        assert main([
+            "trace", "record", "--workload", "hf", "--scale", "16",
+            "--mapper", "inter+sched", "-o", str(b),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace diff: original vs inter+sched" in out
+        assert "first divergence" in out
+
+    def test_diff_record_mode(self, capsys):
+        assert main([
+            "trace", "diff", "--workload", "hf", "--scale", "16",
+            "-a", "original", "-b", "inter+sched", "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Trace diff" in out and "L3" in out
+
+    def test_diff_without_inputs_exit_code(self, capsys):
+        assert main(["trace", "diff"]) == 2
+
+    def test_diff_one_artifact_exit_code(self, recorded, capsys):
+        assert main(["trace", "diff", str(recorded)]) == 2

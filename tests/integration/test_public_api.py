@@ -41,6 +41,7 @@ SUBPACKAGES = [
     "repro.compiler",
     "repro.workloads",
     "repro.experiments",
+    "repro.trace",
 ]
 
 

@@ -50,6 +50,38 @@ class TestInterleaveOrder:
         assert clients.tolist() == [1, 1]
 
 
+class TestInterleaveOrderEdgeCases:
+    def test_empty_returns_int64_arrays(self):
+        clients, pos = interleave_order([])
+        assert clients.dtype == np.int64 and pos.dtype == np.int64
+        assert clients.shape == (0,) and pos.shape == (0,)
+
+    def test_all_clients_empty(self):
+        clients, pos = interleave_order([0, 0, 0])
+        assert clients.tolist() == [] and pos.tolist() == []
+
+    def test_empty_client_in_the_middle(self):
+        clients, pos = interleave_order([2, 0, 3])
+        # Client 1 never appears; rounds still interleave 0 and 2.
+        assert 1 not in clients.tolist()
+        assert clients.tolist() == [0, 2, 0, 2, 2]
+        assert pos.tolist() == [0, 0, 1, 1, 2]
+
+    def test_single_client_is_its_own_stream(self):
+        clients, pos = interleave_order([5])
+        assert clients.tolist() == [0] * 5
+        assert pos.tolist() == list(range(5))
+
+    def test_order_is_permutation_of_all_accesses(self):
+        lengths = [3, 0, 5, 1]
+        clients, pos = interleave_order(lengths)
+        pairs = sorted(zip(clients.tolist(), pos.tolist()))
+        expected = sorted(
+            (c, p) for c, n in enumerate(lengths) for p in range(n)
+        )
+        assert pairs == expected
+
+
 class TestSimulate:
     def test_compulsory_misses_only(self):
         h, fs = make_system()

@@ -120,3 +120,47 @@ def test_cold_miss_classification(per_client):
     for name in ("L1", "L2", "L3"):
         st_ = res.level_stats[name]
         assert 0 <= st_.cold_misses <= st_.misses
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 20), max_size=8))
+def test_interleave_order_is_round_grouped_permutation(lengths):
+    """The global order is a permutation of all (client, position)
+    pairs, grouped by round: positions never decrease, and within one
+    round clients are served in ascending id order."""
+    from repro.simulator.engine import interleave_order
+
+    clients, pos = interleave_order(lengths)
+    served = list(zip(clients.tolist(), pos.tolist()))
+    # Permutation: every access of every client exactly once.
+    assert sorted(served) == sorted(
+        (c, p) for c, n in enumerate(lengths) for p in range(n)
+    )
+    # Grouped by round (a client's p-th access happens in round p).
+    rounds = pos.tolist()
+    assert rounds == sorted(rounds)
+    # Within a round, ascending client order.
+    for i in range(1, len(served)):
+        if rounds[i] == rounds[i - 1]:
+            assert clients[i] > clients[i - 1]
+    # Per client, positions appear in execution order 0..n-1.
+    for c, n in enumerate(lengths):
+        assert [p for cc, p in served if cc == c] == list(range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(traces)
+def test_recorder_observes_exact_io_accounting(per_client):
+    """Replaying any workload with a memory recorder, the sum of access
+    and write-back costs per client reconstructs io_ms exactly."""
+    from repro.trace.events import Access, Writeback
+    from repro.trace.recorder import MemoryRecorder
+
+    rec = MemoryRecorder()
+    res, h, streams = run_sim(per_client, recorder=rec)
+    per = {c: 0.0 for c in range(len(res.per_client_io_ms))}
+    for e in rec.events:
+        if isinstance(e, (Access, Writeback)):
+            per[e.client] += e.cost_ms
+    for c, total in per.items():
+        assert total == pytest.approx(res.per_client_io_ms[c])

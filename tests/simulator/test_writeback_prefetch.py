@@ -81,6 +81,135 @@ class TestWriteback:
         assert dirty.per_client_io_ms[0] > clean.per_client_io_ms[0]
 
 
+class TestWritebackMultiLevelPath:
+    """Dirty evictions walking the full L1 -> L2 -> L3 -> disk path."""
+
+    def stream(self, chunks, first_is_write=True):
+        streams = empty_streams()
+        masks = empty_masks()
+        streams[0] = np.array(chunks)
+        masks[0] = np.zeros(len(chunks), dtype=bool)
+        masks[0][0] = first_is_write
+        return streams, masks
+
+    def test_dirt_walks_every_level_before_disk(self):
+        # Capacity-1 L1/L2 over a 4-chunk L3: the dirty chunk 0 is pushed
+        # L1 -> L2 (step 1), L2 -> L3 (step 1), and only reaches the disk
+        # when L3 itself overflows at step 4.
+        from repro.trace.events import Evict, Writeback
+        from repro.trace.recorder import MemoryRecorder
+
+        h, fs = make_system(l1=1, l2=1, l3=4)
+        streams, masks = self.stream([0, 4, 8, 12, 16])
+        rec = MemoryRecorder()
+        res = simulate(streams, h, fs, write_masks=masks, recorder=rec)
+        assert res.disk_writes == 1
+        dirty_evicts = [
+            e for e in rec.of_kind(Evict) if e.dirty and e.victim == 0
+        ]
+        # One dirty hand-off per level, in path order.
+        assert [(e.step, e.level) for e in dirty_evicts] == [(1, 0), (1, 1), (4, 2)]
+        wbs = rec.of_kind(Writeback)
+        assert len(wbs) == 1 and wbs[0].chunk == 0 and wbs[0].step == 4
+
+    def test_only_final_eviction_pays_the_disk(self):
+        # Same walk, counter-only view: intermediate hand-offs are free.
+        h, fs = make_system(l1=1, l2=1, l3=4)
+        streams, masks = self.stream([0, 4, 8, 12])  # L3 never overflows
+        res = simulate(streams, h, fs, write_masks=masks)
+        assert res.disk_writes == 0
+        assert res.level_stats["L1"].evictions >= 1  # dirt moved, no disk
+
+    def test_dirty_write_cost_matches_filesystem_charge(self):
+        h, fs = make_system(l1=1, l2=1, l3=1)
+        streams, masks = self.stream([0, 4])
+        clean = simulate(streams, h, fs, write_masks=None)
+        dirty = simulate(streams, h, fs, write_masks=masks)
+        extra = dirty.per_client_io_ms[0] - clean.per_client_io_ms[0]
+        fs2 = ParallelFileSystem(1, chunk_bytes=64 * 1024)
+        expected = fs2.write_chunk(0)
+        assert extra == pytest.approx(expected)
+
+    def test_rewrite_of_evicted_chunk_dirties_again(self):
+        # Write 0, evict it to disk, write it again: two disk writes.
+        h, fs = make_system(l1=1, l2=1, l3=1)
+        streams = empty_streams()
+        masks = empty_masks()
+        streams[0] = np.array([0, 4, 0, 4])
+        masks[0] = np.array([True, False, True, False])
+        res = simulate(streams, h, fs, write_masks=masks)
+        assert res.disk_writes == 2
+
+
+class TestPrefetchEvictionWriteback:
+    """The evict_writeback call from the prefetch branch (read-ahead
+    displacing a dirty chunk from the bottom cache)."""
+
+    def traced_run(self):
+        from repro.trace.recorder import MemoryRecorder
+
+        h, fs = make_system(l1=1, l2=1, l3=4)
+        streams = empty_streams()
+        masks = empty_masks()
+        # 0 is written, its dirt sinks to L3 (step 1); the L3 hit on the
+        # prefetched chunk 1 (step 2) refreshes 1's recency so chunk 0 is
+        # the LRU victim when step 3's prefetch of chunk 9 fills a full L3.
+        streams[0] = np.array([0, 4, 1, 8])
+        masks[0] = np.array([True, False, False, False])
+        rec = MemoryRecorder()
+        res = simulate(
+            streams, h, fs, write_masks=masks, prefetch_degree=1,
+            num_data_chunks=10, recorder=rec,
+        )
+        return res, rec
+
+    def test_prefetch_triggered_dirty_eviction_hits_disk(self):
+        res, _ = self.traced_run()
+        assert res.disk_writes == 1
+
+    def test_writeback_comes_from_the_prefetch_fill(self):
+        from repro.trace.events import Evict, Fill, Prefetch, Writeback
+
+        res, rec = self.traced_run()
+        events = rec.events
+        wb = next(e for e in events if isinstance(e, Writeback))
+        assert wb.chunk == 0 and wb.step == 3
+        # The dirty eviction happens at the bottom cache during step 3's
+        # prefetch: after the prefetch of chunk 9 and before any demand
+        # fill of chunk 8 reaches L3.
+        evict = next(
+            e for e in events
+            if isinstance(e, Evict) and e.victim == 0 and e.step == 3
+        )
+        assert evict.dirty and evict.cache.startswith("L3")
+        order = [
+            e for e in events
+            if e.step == 3 and isinstance(e, (Prefetch, Evict, Fill, Writeback))
+        ]
+        prefetch_idx = next(
+            i for i, e in enumerate(order)
+            if isinstance(e, Prefetch) and e.chunk == 9
+        )
+        wb_idx = next(i for i, e in enumerate(order) if isinstance(e, Writeback))
+        demand_fill_idx = next(
+            i for i, e in enumerate(order)
+            if isinstance(e, Fill) and e.chunk == 8 and e.level == 2
+        )
+        assert prefetch_idx < wb_idx < demand_fill_idx
+
+    def test_clean_prefetch_eviction_no_write(self):
+        h, fs = make_system(l1=1, l2=1, l3=4)
+        streams = empty_streams()
+        masks = empty_masks()
+        streams[0] = np.array([0, 4, 1, 8])  # same pattern, nothing dirty
+        masks[0] = np.zeros(4, dtype=bool)
+        res = simulate(
+            streams, h, fs, write_masks=masks, prefetch_degree=1,
+            num_data_chunks=10,
+        )
+        assert res.disk_writes == 0
+
+
 class TestStreamsWithWrites:
     def test_masks_align_with_requests(self):
         ds = DataSpace([DiskArray("A", (64,))], 8)

@@ -1,0 +1,86 @@
+"""Tests for trace diffs — the "explain the win" tool (acceptance item)."""
+
+import pytest
+
+from repro.experiments.config import scaled_config
+from repro.trace.diff import diff_artifacts, diff_traces
+from repro.trace.events import Access
+from repro.trace.recorder import MemoryRecorder
+from repro.trace.replay import record, replay
+
+
+@pytest.fixture(scope="module")
+def hf_diff():
+    """original vs inter+sched on one suite workload (the acceptance case)."""
+    config = scaled_config(16)
+    art_a = record("hf", config, "original")
+    art_b = record("hf", config, "inter+sched")
+    return diff_artifacts(art_a, art_b, top_n=5)
+
+
+class TestDiffArtifacts:
+    def test_per_level_hit_delta_nonempty(self, hf_diff):
+        assert not hf_diff.is_empty
+        assert set(hf_diff.hit_deltas) == {"L1", "L2", "L3", "miss"}
+        assert any(d != 0 for d in hf_diff.hit_deltas.values())
+
+    def test_labels_are_mapper_versions(self, hf_diff):
+        assert hf_diff.label_a == "original"
+        assert hf_diff.label_b == "inter+sched"
+
+    def test_first_divergence_found(self, hf_diff):
+        assert hf_diff.first_divergence is not None
+        assert hf_diff.first_divergence >= 0
+
+    def test_top_movers_reported(self, hf_diff):
+        assert 0 < len(hf_diff.movers) <= 5
+        # Sorted by how much placement changed, ties by chunk id.
+        moved = [m.moved for m in hf_diff.movers]
+        assert moved == sorted(moved, reverse=True)
+
+    def test_render_mentions_levels_and_movers(self, hf_diff):
+        text = hf_diff.render()
+        for token in ("L1", "L2", "L3", "miss", "first divergence",
+                      "placement changed"):
+            assert token in text
+
+    def test_mismatched_workloads_rejected(self):
+        config = scaled_config(16)
+        art_a = record("hf", config, "original")
+        art_b = record("sar", config, "original")
+        with pytest.raises(ValueError, match="different workloads"):
+            diff_artifacts(art_a, art_b)
+
+
+class TestDiffTraces:
+    def test_identical_traces_diff_empty(self):
+        config = scaled_config(16)
+        artifact = record("hf", config, "original")
+        rec_a, rec_b = MemoryRecorder(), MemoryRecorder()
+        replay(artifact, recorder=rec_a)
+        replay(artifact, recorder=rec_b)
+        diff = diff_traces(rec_a.events, rec_b.events)
+        assert diff.is_empty
+        assert diff.first_divergence is None
+        assert diff.movers == []
+        assert "identical" in diff.render()
+
+    def test_synthetic_divergence_located(self):
+        a = [
+            Access(step=0, client=0, chunk=1, hit_level=-1, cost_ms=1.0),
+            Access(step=1, client=0, chunk=2, hit_level=0, cost_ms=0.1),
+        ]
+        b = [
+            Access(step=0, client=0, chunk=1, hit_level=-1, cost_ms=1.0),
+            Access(step=1, client=0, chunk=2, hit_level=1, cost_ms=0.2),
+        ]
+        diff = diff_traces(a, b, level_names=("L1", "L2"))
+        assert diff.first_divergence == 1
+        assert diff.hit_deltas == {"L1": -1, "L2": 1, "miss": 0}
+        assert len(diff.movers) == 1 and diff.movers[0].chunk == 2
+
+    def test_length_mismatch_is_divergence(self):
+        a = [Access(step=0, client=0, chunk=1, hit_level=0, cost_ms=0.1)]
+        diff = diff_traces(a, [], level_names=("L1",))
+        assert diff.first_divergence == 0
+        assert diff.accesses_a == 1 and diff.accesses_b == 0

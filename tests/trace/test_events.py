@@ -1,0 +1,68 @@
+"""Tests for the trace event model."""
+
+import pytest
+
+from repro.trace.events import (
+    MISS_LEVEL,
+    Access,
+    EventKind,
+    Evict,
+    Fill,
+    Prefetch,
+    Sync,
+    Writeback,
+    event_from_dict,
+    hit_level_label,
+)
+
+ALL_EVENTS = [
+    Access(step=0, client=1, chunk=7, hit_level=2, cost_ms=0.475),
+    Access(step=3, client=0, chunk=9, hit_level=MISS_LEVEL, cost_ms=8.2,
+           write=True, cold=True),
+    Fill(step=0, client=1, cache="L2[io0]", level=1, chunk=7),
+    Evict(step=0, client=1, cache="L1[cn1]", level=0, victim=3, dirty=True),
+    Prefetch(step=2, client=0, cache="L3[sn0]", chunk=11),
+    Writeback(step=5, client=2, chunk=4, cost_ms=3.9),
+    Sync(client=3, count=2, cost_ms=1.0),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: type(e).__name__)
+    def test_dict_round_trip(self, event):
+        d = event.to_dict()
+        assert d["kind"] == event.kind.value
+        assert event_from_dict(d) == event
+
+    def test_every_kind_covered(self):
+        kinds = {e.kind for e in ALL_EVENTS}
+        assert kinds == set(EventKind)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            event_from_dict({"kind": "flush", "step": 0})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"step": 0, "client": 1})
+
+
+class TestLabels:
+    def test_hit_levels(self):
+        names = ["L1", "L2", "L3"]
+        assert hit_level_label(0, names) == "L1"
+        assert hit_level_label(2, names) == "L3"
+
+    def test_miss(self):
+        assert hit_level_label(MISS_LEVEL, ["L1", "L2"]) == "miss"
+        assert hit_level_label(5, ["L1", "L2"]) == "miss"
+
+
+class TestImmutability:
+    def test_events_frozen(self):
+        ev = ALL_EVENTS[0]
+        with pytest.raises(AttributeError):
+            ev.chunk = 99
+
+    def test_events_slotted(self):
+        assert not hasattr(ALL_EVENTS[0], "__dict__")

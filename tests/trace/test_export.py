@@ -1,0 +1,130 @@
+"""Tests for the JSONL and Chrome-trace exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.topology import three_level_hierarchy
+from repro.simulator.engine import simulate
+from repro.storage.filesystem import ParallelFileSystem
+from repro.trace.events import Access, Prefetch, Writeback
+from repro.trace.export import (
+    EVENTS_FORMAT_VERSION,
+    read_events_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.trace.recorder import MemoryRecorder
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    rec = MemoryRecorder()
+    h = three_level_hierarchy(4, 2, 1, (2, 4, 8))
+    fs = ParallelFileSystem(1, chunk_bytes=64 * 1024)
+    streams = {
+        c: np.asarray(list(range(c, c + 10)), dtype=np.int64) for c in range(4)
+    }
+    res = simulate(streams, h, fs, recorder=rec, prefetch_degree=1,
+                   num_data_chunks=20)
+    return rec, res
+
+
+class TestJsonl:
+    def test_round_trip(self, traced_run, tmp_path):
+        rec, _ = traced_run
+        path = tmp_path / "events.jsonl"
+        n = write_events_jsonl(path, rec.events, meta={"workload": "synthetic"})
+        assert n == len(rec.events)
+        meta, events = read_events_jsonl(path)
+        assert meta == {"workload": "synthetic"}
+        assert events == rec.events
+
+    def test_header_carries_version(self, traced_run, tmp_path):
+        rec, _ = traced_run
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(path, rec.events)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["version"] == EVENTS_FORMAT_VERSION
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "not_a_trace.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            read_events_jsonl(path)
+
+    def test_rejects_future_version(self, traced_run, tmp_path):
+        rec, _ = traced_run
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(path, rec.events)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = EVENTS_FORMAT_VERSION + 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="unsupported event-log version"):
+            read_events_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_document_structure(self, traced_run):
+        rec, _ = traced_run
+        doc = to_chrome_trace(rec.events, level_names=("L1", "L2", "L3"))
+        assert doc["displayTimeUnit"] == "ms"
+        kinds = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in kinds and "M" in kinds  # slices + thread metadata
+
+    def test_one_slice_per_access(self, traced_run):
+        rec, _ = traced_run
+        doc = to_chrome_trace(rec.events)
+        slices = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] != "writeback"
+        ]
+        assert len(slices) == len(rec.accesses())
+
+    def test_client_clock_monotone(self, traced_run):
+        rec, _ = traced_run
+        doc = to_chrome_trace(rec.events)
+        by_client: dict[int, list] = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                by_client.setdefault(e["tid"], []).append(e)
+        for events in by_client.values():
+            ends = 0.0
+            for e in events:
+                assert e["ts"] >= ends
+                ends = e["ts"] + e["dur"]
+
+    def test_slice_timeline_matches_io_time(self, traced_run):
+        """The last slice of a client ends at its simulated I/O time."""
+        rec, res = traced_run
+        doc = to_chrome_trace(rec.events)
+        last_end: dict[int, float] = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                last_end[e["tid"]] = e["ts"] + e["dur"]
+        for c, end_us in last_end.items():
+            assert end_us / 1000.0 == pytest.approx(res.per_client_io_ms[c])
+
+    def test_prefetch_markers(self, traced_run):
+        rec, _ = traced_run
+        doc = to_chrome_trace(rec.events)
+        marks = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(marks) == len(rec.of_kind(Prefetch))
+
+    def test_miss_band_color(self, traced_run):
+        rec, _ = traced_run
+        doc = to_chrome_trace(rec.events)
+        miss_slices = [e for e in doc["traceEvents"]
+                       if e["ph"] == "X" and e["cat"] == "miss"]
+        assert miss_slices and all(e["cname"] == "terrible" for e in miss_slices)
+
+    def test_write_chrome_trace_is_valid_json(self, traced_run, tmp_path):
+        rec, _ = traced_run
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, rec.events, meta={"workload": "synthetic"})
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["workload"] == "synthetic"
+        assert doc["traceEvents"]

@@ -1,0 +1,130 @@
+"""The engine's event emission: recorders observe exactly what happened."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.topology import three_level_hierarchy, uniform_hierarchy
+from repro.simulator.engine import LatencyModel, simulate
+from repro.storage.filesystem import ParallelFileSystem
+from repro.trace.events import Access, Evict, Fill, Prefetch, Sync, Writeback
+from repro.trace.recorder import MemoryRecorder, NullRecorder, TraceRecorder
+
+
+def small_setup(k=4):
+    h = three_level_hierarchy(k, 2, 1, (2, 4, 8))
+    fs = ParallelFileSystem(1, chunk_bytes=64 * 1024)
+    return h, fs
+
+
+def run(streams, recorder=None, **kw):
+    h, fs = small_setup(len(streams))
+    arrays = {c: np.asarray(s, dtype=np.int64) for c, s in streams.items()}
+    return simulate(arrays, h, fs, recorder=recorder, **kw), h
+
+
+class TestMemoryRecorder:
+    def test_one_access_event_per_request(self):
+        rec = MemoryRecorder()
+        streams = {0: [0, 1, 0], 1: [2], 2: [], 3: [3, 3]}
+        res, _ = run(streams, recorder=rec)
+        assert len(rec.accesses()) == 6
+        assert res.total_accesses() == 6
+
+    def test_access_costs_reconstruct_io_time(self):
+        """Per-client io_ms is exactly the sum of its event costs."""
+        rec = MemoryRecorder()
+        streams = {c: [c, c + 1, c + 2, c] for c in range(4)}
+        res, _ = run(streams, recorder=rec)
+        per_client = {c: 0.0 for c in range(4)}
+        for e in rec.accesses():
+            per_client[e.client] += e.cost_ms
+        for e in rec.of_kind(Writeback):
+            per_client[e.client] += e.cost_ms
+        for c in range(4):
+            assert per_client[c] == pytest.approx(res.per_client_io_ms[c])
+
+    def test_hit_levels_match_level_stats(self):
+        rec = MemoryRecorder()
+        streams = {0: [0, 1, 0, 1], 1: [0], 2: [], 3: []}
+        res, _ = run(streams, recorder=rec)
+        counts = rec.hit_level_counts()
+        assert counts[0] == res.level_stats["L1"].hits
+        assert counts[1] == res.level_stats["L2"].hits
+        assert counts[2] == res.level_stats["L3"].hits
+        assert counts[-1] == res.disk_reads
+
+    def test_fill_and_evict_events_match_stats(self):
+        rec = MemoryRecorder()
+        streams = {0: list(range(8)) * 2, 1: [], 2: [], 3: []}
+        res, _ = run(streams, recorder=rec)
+        fills = rec.of_kind(Fill)
+        evicts = rec.of_kind(Evict)
+        assert len(fills) == sum(st.fills for st in res.level_stats.values())
+        assert len(evicts) == sum(st.evictions for st in res.level_stats.values())
+
+    def test_cold_flags_mark_first_touch(self):
+        rec = MemoryRecorder()
+        run({0: [5, 5, 6], 1: [], 2: [], 3: []}, recorder=rec)
+        cold = [e.cold for e in rec.accesses()]
+        assert cold == [True, False, True]
+
+    def test_steps_are_global_interleave_order(self):
+        rec = MemoryRecorder()
+        run({0: [0, 1], 1: [2, 3], 2: [], 3: []}, recorder=rec)
+        accesses = rec.accesses()
+        assert [e.step for e in accesses] == [0, 1, 2, 3]
+        # Round-robin: round 0 serves client 0 then 1, then round 1.
+        assert [e.client for e in accesses] == [0, 1, 0, 1]
+
+    def test_prefetch_events(self):
+        rec = MemoryRecorder()
+        res, _ = run(
+            {0: [0], 1: [], 2: [], 3: []},
+            recorder=rec,
+            prefetch_degree=2,
+            num_data_chunks=10,
+        )
+        pf = rec.of_kind(Prefetch)
+        assert [e.chunk for e in pf] == [1, 2]
+        assert all(e.cache.startswith("L3") for e in pf)
+
+    def test_sync_events(self):
+        rec = MemoryRecorder()
+        latency = LatencyModel()
+        res, _ = run(
+            {0: [0], 1: [1], 2: [], 3: []},
+            recorder=rec,
+            sync_counts={0: 3, 2: 0},
+            latency=latency,
+        )
+        syncs = rec.of_kind(Sync)
+        assert len(syncs) == 1  # zero-count clients emit nothing
+        assert syncs[0].client == 0 and syncs[0].count == 3
+        assert syncs[0].cost_ms == pytest.approx(3 * latency.sync_stall_ms)
+
+    def test_write_flag_on_access(self):
+        rec = MemoryRecorder()
+        streams = {0: np.array([0, 1], dtype=np.int64)}
+        masks = {0: np.array([True, False])}
+        h = uniform_hierarchy((1, 1, 1), (8, 4, 2))
+        fs = ParallelFileSystem(1, chunk_bytes=64 * 1024)
+        simulate(streams, h, fs, write_masks=masks, recorder=rec)
+        assert [e.write for e in rec.accesses()] == [True, False]
+
+
+class TestDisabledRecorders:
+    def test_null_recorder_result_identical(self):
+        streams = {c: list(range(c, c + 12)) for c in range(4)}
+        res_none, _ = run(streams, recorder=None)
+        res_null, _ = run(streams, recorder=NullRecorder())
+        assert np.array_equal(res_none.per_client_io_ms, res_null.per_client_io_ms)
+        assert res_none.level_stats == res_null.level_stats
+        assert res_none.disk_reads == res_null.disk_reads
+
+    def test_null_recorder_is_a_trace_recorder(self):
+        assert isinstance(NullRecorder(), TraceRecorder)
+        assert isinstance(MemoryRecorder(), TraceRecorder)
+
+    def test_null_recorder_flagged_disabled(self):
+        assert NullRecorder.enabled is False
+        assert MemoryRecorder.enabled is True
