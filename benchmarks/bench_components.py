@@ -124,6 +124,32 @@ def test_simulation_engine_null_recorder(benchmark, setup):
     assert res.total_accesses() > 0
 
 
+def test_simulation_engine_live_registry(benchmark, setup):
+    """Telemetry enabled: metrics bridge only at the end of ``simulate``,
+    so a live registry must cost about the same as the null registry
+    (compare against ``test_simulation_engine``, which runs with
+    telemetry disabled)."""
+    from repro.telemetry import MetricsRegistry, use_registry
+
+    cfg = setup["config"]
+
+    def run():
+        fs = ParallelFileSystem(
+            cfg.num_storage_nodes, cfg.chunk_elems * 1024, cfg.disk
+        )
+        with use_registry(MetricsRegistry()):
+            return simulate(
+                setup["streams"],
+                setup["hierarchy"],
+                fs,
+                latency=cfg.latency,
+                iterations_per_client=setup["mapping"].iteration_counts(),
+            )
+
+    res = benchmark(run)
+    assert res.total_accesses() > 0
+
+
 def test_full_inter_mapping(benchmark, setup):
     mapper = InterProcessorMapper(schedule=True)
 

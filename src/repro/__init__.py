@@ -52,6 +52,15 @@ from repro.polyhedral import (
     LoopNest,
 )
 from repro.simulator import LatencyModel, run_experiment, simulate
+from repro.telemetry import (
+    MetricsRegistry,
+    build_manifest,
+    get_registry,
+    load_manifest,
+    phase,
+    save_manifest,
+    use_registry,
+)
 from repro.trace import (
     MemoryRecorder,
     NullRecorder,
@@ -96,6 +105,13 @@ __all__ = [
     "LatencyModel",
     "run_experiment",
     "simulate",
+    "MetricsRegistry",
+    "get_registry",
+    "use_registry",
+    "phase",
+    "build_manifest",
+    "save_manifest",
+    "load_manifest",
     "MemoryRecorder",
     "NullRecorder",
     "TraceArtifact",

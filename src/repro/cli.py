@@ -1,7 +1,7 @@
 """Command-line driver: ``repro <command>`` or ``python -m repro``.
 
 Regenerates any of the paper's tables/figures from the shipped harness
-and drives the trace subsystem:
+and drives the trace and telemetry subsystems:
 
 .. code-block:: console
 
@@ -9,6 +9,10 @@ and drives the trace subsystem:
    $ repro figure11
    $ repro all --scale 4   # every experiment, in paper order
    $ repro suite           # raw per-(workload, version) metrics
+   $ repro table2 --scale 16 --telemetry run.json
+   $ repro metrics show run.json
+   $ repro metrics export run.json -o run.prom
+   $ repro metrics diff run_a.json run_b.json
    $ repro trace record --workload hf -o hf.trace.npz
    $ repro trace replay hf.trace.npz --cache-elems 2048,3072,12288
    $ repro trace diff --workload hf -a original -b inter+sched
@@ -34,9 +38,12 @@ from repro.experiments import (
 )
 from repro.experiments.harness import run_suite
 from repro.simulator.runner import VERSIONS
+from repro.util.log import configure_logging, get_logger
 from repro.util.tables import format_table
 
 __all__ = ["main", "EXPERIMENTS"]
+
+_LOG = get_logger("cli")
 
 #: Figure/table experiments in paper order (the ``all`` command's order).
 EXPERIMENTS = {
@@ -61,16 +68,26 @@ def _config_from(args: argparse.Namespace):
     return config_mod.scaled_config(scale) if scale else None
 
 
+def _note_report(args: argparse.Namespace, report) -> None:
+    """Collect a rendered report for the run manifest, when one is open."""
+    reports = getattr(args, "_reports", None)
+    if reports is not None:
+        reports.append(report)
+
+
 # -- experiment commands ------------------------------------------------------------
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    print(EXPERIMENTS[args.experiment](_config_from(args)).render())
+    report = EXPERIMENTS[args.experiment](_config_from(args))
+    _note_report(args, report)
+    print(report.render())
     return 0
 
 
 def _cmd_discussion(args: argparse.Namespace) -> int:
     for report in discussion.run(_config_from(args)):
+        _note_report(args, report)
         print(report.render())
         print()
     return 0
@@ -79,9 +96,12 @@ def _cmd_discussion(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     config = _config_from(args)
     for name in EXPERIMENTS:
-        print(EXPERIMENTS[name](config).render())
+        report = EXPERIMENTS[name](config)
+        _note_report(args, report)
+        print(report.render())
         print()
     for report in discussion.run(config):
+        _note_report(args, report)
         print(report.render())
         print()
     return 0
@@ -92,6 +112,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         report = explain.run(args.workload, _config_from(args))
     except KeyError as exc:
         return _fail(str(exc.args[0]))
+    _note_report(args, report)
     print(report.render())
     return 0
 
@@ -103,7 +124,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         from repro.simulator.serialization import save_results_json
 
         save_results_json(args.json, results)
-        print(f"raw results written to {args.json}", file=sys.stderr)
+        _LOG.info("raw results written to %s", args.json)
     headers = ["application", "version", "L1", "L2", "L3", "io (ms)", "exec (ms)"]
     rows = []
     for wname, per_version in results.items():
@@ -122,6 +143,140 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 ]
             )
     print(format_table(headers, rows, title="Suite: raw metrics"))
+    return 0
+
+
+# -- metrics commands ---------------------------------------------------------------
+
+
+def _render_phase_tree(nodes: list, depth: int = 0) -> list[str]:
+    lines = []
+    for node in nodes:
+        calls = node.get("calls", 1)
+        suffix = f"  (x{calls})" if calls > 1 else ""
+        lines.append(
+            f"  {'  ' * depth}{node['name']:<{30 - 2 * depth}}"
+            f"{node['elapsed_s']:9.3f} s{suffix}"
+        )
+        lines.extend(_render_phase_tree(node.get("children", []), depth + 1))
+    return lines
+
+
+def _cmd_metrics_show(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_manifest
+
+    try:
+        doc = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    versions = doc.get("versions", {})
+    print(f"manifest: {args.manifest}")
+    print(f"  command: {doc.get('command') or '-'}")
+    print(f"  git commit: {doc.get('git_commit') or '-'}")
+    print(
+        "  versions: "
+        + ", ".join(f"{k} {v}" for k, v in sorted(versions.items()))
+    )
+    if doc.get("seed") is not None:
+        print(f"  seed: {doc['seed']}")
+    phases = doc.get("phases", [])
+    if phases:
+        print("phases:")
+        print("\n".join(_render_phase_tree(phases)))
+    metrics = doc.get("metrics", {})
+    counter_rows = [
+        [e["name"], _labels_str(e.get("labels", {})), f"{e['value']:g}"]
+        for e in metrics.get("counters", [])
+    ]
+    if counter_rows:
+        print(format_table(["counter", "labels", "value"], counter_rows))
+    gauge_rows = [
+        [e["name"], _labels_str(e.get("labels", {})), f"{e['value']:g}"]
+        for e in metrics.get("gauges", [])
+    ]
+    if gauge_rows:
+        print(format_table(["gauge", "labels", "value"], gauge_rows))
+    hist_rows = [
+        [
+            e["name"],
+            _labels_str(e.get("labels", {})),
+            e["count"],
+            f"{e['sum']:g}",
+            f"{e.get('mean', 0.0):g}",
+            f"{e.get('max', 0.0):g}",
+        ]
+        for e in metrics.get("histograms", [])
+    ]
+    if hist_rows:
+        print(
+            format_table(
+                ["histogram", "labels", "count", "sum", "mean", "max"], hist_rows
+            )
+        )
+    for report in doc.get("reports", []):
+        if report.get("summary"):
+            pairs = ", ".join(
+                f"{k}={v:.3f}" for k, v in report["summary"].items()
+            )
+            print(f"  {report['experiment_id']}: {pairs}")
+    return 0
+
+
+def _labels_str(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def _cmd_metrics_export(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_manifest, manifest_to_prometheus
+
+    try:
+        doc = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    text = manifest_to_prometheus(doc)
+    if args.out and args.out != "-":
+        try:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+        except OSError as exc:
+            return _fail(str(exc))
+        _LOG.info("prometheus exposition -> %s", args.out)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_metrics_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry import diff_manifests, load_manifest
+
+    try:
+        doc_a = load_manifest(args.manifest_a)
+        doc_b = load_manifest(args.manifest_b)
+        diff = diff_manifests(doc_a, doc_b)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    print(diff.render())
+    return 0
+
+
+def _cmd_metrics_validate(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.telemetry import validate_manifest
+
+    try:
+        doc = json.loads(pathlib.Path(args.manifest).read_text())
+    except OSError as exc:
+        return _fail(str(exc))
+    except ValueError as exc:
+        return _fail(f"{args.manifest}: not valid JSON ({exc})")
+    problems = validate_manifest(doc)
+    if problems:
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return _fail(f"{args.manifest}: {len(problems)} schema problem(s)")
+    print(f"{args.manifest}: valid run manifest")
     return 0
 
 
@@ -162,11 +317,14 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         save_artifact(args.out, artifact)
     except OSError as exc:
         return _fail(str(exc))
-    print(
-        f"recorded {artifact.workload}/{artifact.mapper_version}: "
-        f"{artifact.num_clients} clients, {artifact.total_requests()} requests "
-        f"-> {args.out} (format v{artifact.format_version})",
-        file=sys.stderr,
+    _LOG.info(
+        "recorded %s/%s: %d clients, %d requests -> %s (format v%d)",
+        artifact.workload,
+        artifact.mapper_version,
+        artifact.num_clients,
+        artifact.total_requests(),
+        args.out,
+        artifact.format_version,
     )
     if args.events:
         rec = MemoryRecorder()
@@ -182,7 +340,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
             )
         except OSError as exc:
             return _fail(str(exc))
-        print(f"{n} events -> {args.events}", file=sys.stderr)
+        _LOG.info("%d events -> %s", n, args.events)
     return 0
 
 
@@ -213,9 +371,7 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
             write_events_jsonl(args.out, rec.events, meta)
     except OSError as exc:
         return _fail(str(exc))
-    print(
-        f"{len(rec.events)} events ({args.format}) -> {args.out}", file=sys.stderr
-    )
+    _LOG.info("%d events (%s) -> %s", len(rec.events), args.format, args.out)
     return 0
 
 
@@ -292,6 +448,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"repro {__version__}"
     )
 
+    log_parent = argparse.ArgumentParser(add_help=False)
+    log_parent.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="logging verbosity on stderr (default: info)",
+    )
+    log_parent.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="shorthand for --log-level debug",
+    )
+
     scale_parent = argparse.ArgumentParser(add_help=False)
     scale_parent.add_argument(
         "--scale",
@@ -300,26 +470,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run at a reduced topology (e.g. 4 => 16 clients); 0 = default",
     )
 
+    telemetry_parent = argparse.ArgumentParser(add_help=False)
+    telemetry_parent.add_argument(
+        "--telemetry",
+        default="",
+        metavar="PATH",
+        help="collect metrics/phase timings and write a JSON run manifest here",
+    )
+
+    experiment_parents = [log_parent, scale_parent, telemetry_parent]
+
     sub = parser.add_subparsers(dest="command", required=True, metavar="command")
 
     for name in EXPERIMENTS:
         p = sub.add_parser(
-            name, parents=[scale_parent], help=f"regenerate {name}"
+            name, parents=experiment_parents, help=f"regenerate {name}"
         )
         p.set_defaults(func=_cmd_experiment, experiment=name)
 
     p = sub.add_parser(
-        "discussion", parents=[scale_parent], help="the §5.4/§6 discussion analyses"
+        "discussion",
+        parents=experiment_parents,
+        help="the §5.4/§6 discussion analyses",
     )
     p.set_defaults(func=_cmd_discussion)
 
     p = sub.add_parser(
-        "all", parents=[scale_parent], help="every experiment, in paper order"
+        "all", parents=experiment_parents, help="every experiment, in paper order"
     )
     p.set_defaults(func=_cmd_all)
 
     p = sub.add_parser(
-        "explain", parents=[scale_parent], help="miss-source attribution for one workload"
+        "explain",
+        parents=experiment_parents,
+        help="miss-source attribution for one workload",
     )
     p.add_argument(
         "--workload", default="hf", help="workload to analyse (default: hf)"
@@ -327,18 +511,59 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
-        "suite", parents=[scale_parent], help="raw per-(workload, version) metrics"
+        "suite",
+        parents=experiment_parents,
+        help="raw per-(workload, version) metrics",
     )
     p.add_argument(
         "--json", default="", help="also dump raw results to this JSON file"
     )
     p.set_defaults(func=_cmd_suite)
 
+    metrics = sub.add_parser(
+        "metrics", help="inspect, export, diff and validate run manifests"
+    )
+    msub = metrics.add_subparsers(
+        dest="metrics_command", required=True, metavar="action"
+    )
+
+    p = msub.add_parser(
+        "show", parents=[log_parent], help="summarise a run manifest"
+    )
+    p.add_argument("manifest", help="manifest path written by --telemetry")
+    p.set_defaults(func=_cmd_metrics_show)
+
+    p = msub.add_parser(
+        "export",
+        parents=[log_parent],
+        help="export a manifest as Prometheus text exposition",
+    )
+    p.add_argument("manifest", help="manifest path written by --telemetry")
+    p.add_argument(
+        "-o", "--out", default="-", help="output path ('-' for stdout, default)"
+    )
+    p.set_defaults(func=_cmd_metrics_export)
+
+    p = msub.add_parser(
+        "diff", parents=[log_parent], help="compare two run manifests"
+    )
+    p.add_argument("manifest_a", help="baseline manifest")
+    p.add_argument("manifest_b", help="comparison manifest")
+    p.set_defaults(func=_cmd_metrics_diff)
+
+    p = msub.add_parser(
+        "validate", parents=[log_parent], help="schema-check a run manifest"
+    )
+    p.add_argument("manifest", help="manifest path to validate")
+    p.set_defaults(func=_cmd_metrics_validate)
+
     trace = sub.add_parser("trace", help="event tracing, record/replay, mapping diffs")
     tsub = trace.add_subparsers(dest="trace_command", required=True, metavar="action")
 
     p = tsub.add_parser(
-        "record", parents=[scale_parent], help="record a workload artifact"
+        "record",
+        parents=[log_parent, scale_parent],
+        help="record a workload artifact",
     )
     p.add_argument("--workload", default="hf", help="suite workload (default: hf)")
     p.add_argument(
@@ -353,7 +578,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_trace_record)
 
-    p = tsub.add_parser("export", help="export an artifact's event trace")
+    p = tsub.add_parser(
+        "export", parents=[log_parent], help="export an artifact's event trace"
+    )
     p.add_argument("artifact", help="recorded artifact path")
     p.add_argument(
         "--format",
@@ -365,7 +592,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace_export)
 
     p = tsub.add_parser(
-        "replay", help="re-simulate an artifact (optionally under what-if overrides)"
+        "replay",
+        parents=[log_parent],
+        help="re-simulate an artifact (optionally under what-if overrides)",
     )
     p.add_argument("artifact", help="recorded artifact path")
     p.add_argument(
@@ -380,7 +609,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace_replay)
 
     p = tsub.add_parser(
-        "diff", parents=[scale_parent], help="diff two traces of one workload"
+        "diff",
+        parents=[log_parent, scale_parent],
+        help="diff two traces of one workload",
     )
     p.add_argument(
         "artifacts", nargs="*", help="two recorded artifact paths (same workload)"
@@ -404,12 +635,61 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_with_telemetry(args: argparse.Namespace, argv: list[str] | None) -> int:
+    """Execute the command inside a live registry; write the manifest."""
+    from repro.telemetry import (
+        MetricsRegistry,
+        build_manifest,
+        declare_pipeline_metrics,
+        save_manifest,
+        use_registry,
+    )
+
+    registry = MetricsRegistry()
+    declare_pipeline_metrics(registry)
+    args._reports = []
+    with use_registry(registry):
+        status = args.func(args)
+    if status != 0:
+        return status
+    config = _config_from(args) or config_mod.DEFAULT_CONFIG
+    doc = build_manifest(
+        registry,
+        config=config,
+        command=args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        reports=args._reports,
+    )
+    try:
+        save_manifest(args.telemetry, doc)
+    except OSError as exc:
+        return _fail(str(exc))
+    _LOG.info("run manifest -> %s", args.telemetry)
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    level = "debug" if getattr(args, "verbose", False) else getattr(
+        args, "log_level", "info"
+    )
+    configure_logging(level)
     start = time.perf_counter()
-    status = args.func(args)
-    print(f"[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
+    try:
+        if getattr(args, "telemetry", ""):
+            status = _run_with_telemetry(args, argv)
+        else:
+            status = args.func(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into head): exit quietly like a
+        # well-behaved filter.  Point stdout at devnull so the interpreter's
+        # shutdown flush doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    _LOG.info("[%.1fs]", time.perf_counter() - start)
     return status
 
 

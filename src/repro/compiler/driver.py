@@ -10,7 +10,6 @@ before chunks that consume another client's values (§5.4).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +22,7 @@ from repro.hierarchy.topology import CacheHierarchy
 from repro.polyhedral.arrays import DataSpace
 from repro.polyhedral.codegen import generate_bands, render_code
 from repro.polyhedral.nest import LoopNest
+from repro.telemetry import get_registry, phase
 from repro.util.rng import make_rng
 
 __all__ = ["CompiledProgram", "compile_nest"]
@@ -106,43 +106,48 @@ def compile_nest(
     emit_sync: bool = True,
 ) -> CompiledProgram:
     """Compile one parallel nest for the given storage cache hierarchy."""
-    start = time.perf_counter()
-    mapper = mapper or InterProcessorMapper(schedule=True)
-    mapping = mapper.map(nest, data_space, hierarchy, make_rng(seed))
-    mapping.validate(nest.num_iterations)
+    with phase("compile") as total:
+        mapper = mapper or InterProcessorMapper(schedule=True)
+        mapping = mapper.map(nest, data_space, hierarchy, make_rng(seed))
+        mapping.validate(nest.num_iterations)
 
-    names = [b.name for b in nest.space.bounds]
-    body = render_statement(nest, names)
-    waits = _chunk_producers(mapping, nest) if emit_sync else {}
+        with phase("codegen"):
+            names = [b.name for b in nest.space.bounds]
+            body = render_statement(nest, names)
+            waits = _chunk_producers(mapping, nest) if emit_sync else {}
 
-    client_code: dict[int, str] = {}
-    sync_directives: dict[int, list[str]] = {}
-    assert mapping.schedule is not None and mapping.distribution is not None
-    pool = mapping.distribution.pool
-    for c, order in mapping.schedule.items():
-        lines: list[str] = []
-        directives: list[str] = []
-        for pos, m in enumerate(order):
-            chunk = pool[m]
-            lines.append(
-                f"// iteration chunk {m} "
-                f"({chunk.size} iterations, chunks {sorted(chunk.tag.chunks)})"
-            )
-            for producer in sorted(waits.get(c, {}).get(pos, ())):
-                directive = f"wait_for(client_{producer});"
-                lines.append(directive)
-                directives.append(directive)
-            points = nest.space.delinearize(chunk.iterations)
-            bands = generate_bands(points)
-            lines.append(render_code(bands, names, body=body))
-        client_code[c] = "\n".join(lines) if lines else "// (no work)"
-        if directives:
-            sync_directives[c] = directives
+            client_code: dict[int, str] = {}
+            sync_directives: dict[int, list[str]] = {}
+            assert mapping.schedule is not None and mapping.distribution is not None
+            pool = mapping.distribution.pool
+            for c, order in mapping.schedule.items():
+                lines: list[str] = []
+                directives: list[str] = []
+                for pos, m in enumerate(order):
+                    chunk = pool[m]
+                    lines.append(
+                        f"// iteration chunk {m} "
+                        f"({chunk.size} iterations, chunks {sorted(chunk.tag.chunks)})"
+                    )
+                    for producer in sorted(waits.get(c, {}).get(pos, ())):
+                        directive = f"wait_for(client_{producer});"
+                        lines.append(directive)
+                        directives.append(directive)
+                    points = nest.space.delinearize(chunk.iterations)
+                    bands = generate_bands(points)
+                    lines.append(render_code(bands, names, body=body))
+                client_code[c] = "\n".join(lines) if lines else "// (no work)"
+                if directives:
+                    sync_directives[c] = directives
 
-    return CompiledProgram(
-        nest=nest,
-        mapping=mapping,
-        client_code=client_code,
-        sync_directives=sync_directives,
-        compile_time_s=time.perf_counter() - start,
-    )
+        program = CompiledProgram(
+            nest=nest,
+            mapping=mapping,
+            client_code=client_code,
+            sync_directives=sync_directives,
+        )
+        get_registry().counter("compiler.sync_directives").inc(
+            program.total_sync_directives()
+        )
+    program.compile_time_s = total.elapsed
+    return program

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.chunking import IterationChunk
+from repro.telemetry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.clustering import Cluster
@@ -109,20 +110,25 @@ def balance_clusters(
     ulim = mean + bthres
     llim = mean - bthres
 
-    # Every donor pass strictly shrinks the largest cluster or stops, so
-    # the cap is a safety net only.
-    for _ in range(8 * (len(pool) + k) + 16):
-        donor = max(clusters, key=lambda c: c.size)
-        if donor.size <= ulim:
-            return
-        recipient = min(clusters, key=lambda c: c.size)
-        if recipient is donor:
-            return
-        moved = _drain(donor, recipient, pool, tags, llim, ulim, mean)
-        if not moved and not _split_and_evict(
-            donor, recipient, pool, tags, llim, ulim
-        ):
-            return  # no legal move exists (chunk granularity limit)
+    try:
+        # Every donor pass strictly shrinks the largest cluster or stops,
+        # so the cap is a safety net only.
+        for _ in range(8 * (len(pool) + k) + 16):
+            donor = max(clusters, key=lambda c: c.size)
+            if donor.size <= ulim:
+                return
+            recipient = min(clusters, key=lambda c: c.size)
+            if recipient is donor:
+                return
+            moved = _drain(donor, recipient, pool, tags, llim, ulim, mean)
+            if not moved and not _split_and_evict(
+                donor, recipient, pool, tags, llim, ulim
+            ):
+                return  # no legal move exists (chunk granularity limit)
+    finally:
+        get_registry().histogram("balancing.imbalance").observe(
+            imbalance([c.size for c in clusters])
+        )
 
 
 def _drain(
@@ -192,6 +198,7 @@ def _split_and_evict(
         if donor.size - piece < llim or recipient.size + piece > ulim:
             return False
     keep, move = pool[best_m].split(pool[best_m].size - piece)
+    get_registry().counter("balancing.splits").inc()
     pool[best_m] = keep
     pool.append(move)
     tags.append(move)
@@ -210,6 +217,7 @@ def _move(
     pool: list[IterationChunk],
     tags: TagMatrix,
 ) -> None:
+    get_registry().counter("balancing.moves").inc()
     donor.members.remove(m)
     v = tags.row(m)
     donor.signature -= v

@@ -15,12 +15,12 @@
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.mapping import Mapping
+from repro.telemetry import get_registry, phase
 from repro.hierarchy.topology import CacheHierarchy
 from repro.polyhedral.arrays import DataSpace
 from repro.polyhedral.dependence import find_dependences
@@ -57,10 +57,12 @@ class OriginalMapper:
         hierarchy: CacheHierarchy,
         rng: np.random.Generator | None = None,
     ) -> Mapping:
-        start = time.perf_counter()
-        ranks = np.arange(nest.num_iterations, dtype=np.int64)
-        order = block_partition(ranks, hierarchy.num_clients)
-        return Mapping(self.name, order, mapping_time_s=time.perf_counter() - start)
+        with phase("mapping") as total:
+            ranks = np.arange(nest.num_iterations, dtype=np.int64)
+            order = block_partition(ranks, hierarchy.num_clients)
+            mapping = Mapping(self.name, order)
+        mapping.mapping_time_s = total.elapsed
+        return mapping
 
 
 class IntraProcessorMapper:
@@ -85,7 +87,17 @@ class IntraProcessorMapper:
         hierarchy: CacheHierarchy,
         rng: np.random.Generator | None = None,
     ) -> Mapping:
-        start = time.perf_counter()
+        with phase("mapping") as total:
+            mapping = self._map(nest, data_space, hierarchy)
+        mapping.mapping_time_s = total.elapsed
+        return mapping
+
+    def _map(
+        self,
+        nest: LoopNest,
+        data_space: DataSpace,
+        hierarchy: CacheHierarchy,
+    ) -> Mapping:
         iterations = nest.iterations()
         chunk_matrix = np.stack(
             [ref.touched_chunks(iterations, data_space) for ref in nest.references],
@@ -104,6 +116,7 @@ class IntraProcessorMapper:
 
         best_cost = None
         best_order = iterations
+        candidates_tried = 0
         for perm in perms:
             permuted = permute_iterations(iterations, perm)
             for tile in tile_candidates:
@@ -115,13 +128,15 @@ class IntraProcessorMapper:
                     candidate = tile_iterations(
                         permuted, [tile] * nest.depth, nest.space
                     )
+                candidates_tried += 1
                 cost = self._transition_cost(candidate, nest, chunk_matrix)
                 if best_cost is None or cost < best_cost:
                     best_cost = cost
                     best_order = candidate
+        get_registry().counter("baselines.intra.candidates").inc(candidates_tried)
         ranks = nest.space.linearize(best_order)
         order = block_partition(ranks, hierarchy.num_clients)
-        return Mapping(self.name, order, mapping_time_s=time.perf_counter() - start)
+        return Mapping(self.name, order)
 
     @staticmethod
     def _transition_cost(

@@ -37,6 +37,7 @@ from repro.core.balancing import TagMatrix, balance_clusters
 from repro.core.chunking import IterationChunk, IterationChunkSet
 from repro.core.graph import AffinityGraph
 from repro.hierarchy.topology import CacheHierarchy, CacheNode
+from repro.telemetry import get_registry
 from repro.util.validation import check_in_range
 
 __all__ = [
@@ -142,12 +143,15 @@ def cluster_into(
     r: int,
     forced_pairs: set[tuple[int, int]] | None = None,
     tags: TagMatrix | None = None,
+    level: str = "",
 ) -> list[Cluster]:
     """Stage 1 of Fig. 5: partition chunks into exactly ``num_clusters``.
 
     ``forced_pairs`` (pool-index pairs) are pre-merged — the
     infinite-edge-weight dependence treatment of §5.4.  May split chunks
     (appending to ``pool``) when there are fewer chunks than clusters.
+    ``level`` labels the telemetry counters with the hierarchy level
+    being partitioned (``clustering.merges{level=L2}``).
     """
     if num_clusters <= 0:
         raise ValueError("num_clusters must be positive")
@@ -169,8 +173,16 @@ def cluster_into(
         initial = [[m] for m in member_ids]
 
     clusters = [_make_cluster(members, pool, r, tags) for members in initial]
+    registry = get_registry()
     if len(clusters) > num_clusters:
+        registry.counter("clustering.merges", level=level or "all").inc(
+            len(clusters) - num_clusters
+        )
         clusters = _merge_down(clusters, num_clusters, r)
+    if len(clusters) < num_clusters:
+        registry.counter("clustering.splits", level=level or "all").inc(
+            num_clusters - len(clusters)
+        )
     while len(clusters) < num_clusters:
         _split_largest(clusters, pool, r, tags)
     return clusters
@@ -334,12 +346,20 @@ def distribute_iterations(
         if k == 1:
             partition(member_ids, node.children[0])
             return
-        clusters = cluster_into(member_ids, pool, k, r, forced, tags)
+        # The node's *children* are being partitioned: label counters by
+        # the level the resulting clusters will occupy.
+        child_level = node.children[0].level_name
+        clusters = cluster_into(
+            member_ids, pool, k, r, forced, tags, level=child_level
+        )
         balance_clusters(clusters, pool, balance_threshold, r, tags)
         for child, cluster in zip(node.children, clusters):
             partition(cluster.members, child)
 
     partition(list(range(len(pool))), hierarchy.root)
+    registry = get_registry()
+    registry.gauge("clustering.pool_size").set(len(pool))
+    registry.gauge("clustering.chunk_splits").set(len(pool) - len(chunk_set.chunks))
     # Clients under an empty branch (more clients than chunks after all
     # splitting) would be missing; hierarchy validation guarantees ids,
     # so fill any absentee with an empty list for safety.
@@ -366,7 +386,9 @@ def flat_distribution(
     r = chunk_set.tag_width
     tags = TagMatrix(pool, r)
     k = hierarchy.num_clients
-    clusters = cluster_into(list(range(len(pool))), pool, k, r, None, tags)
+    clusters = cluster_into(
+        list(range(len(pool))), pool, k, r, None, tags, level="flat"
+    )
     balance_clusters(clusters, pool, balance_threshold, r, tags)
     assignment = {c: list(cluster.members) for c, cluster in enumerate(clusters)}
     for c in range(k):

@@ -9,8 +9,6 @@ executed them randomly" — pass a seeded RNG for reproducibility.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.baselines import block_partition
@@ -23,6 +21,7 @@ from repro.core.scheduling import schedule_clients
 from repro.hierarchy.topology import CacheHierarchy
 from repro.polyhedral.arrays import DataSpace
 from repro.polyhedral.nest import LoopNest
+from repro.telemetry import get_registry, phase
 from repro.util.rng import make_rng
 
 __all__ = ["InterProcessorMapper"]
@@ -84,16 +83,26 @@ class InterProcessorMapper:
         hierarchy: CacheHierarchy,
         rng: np.random.Generator | None = None,
     ) -> Mapping:
-        start = time.perf_counter()
         rng = rng if rng is not None else make_rng()
 
-        chunk_set = form_iteration_chunks(nest, data_space)
-        graph = build_affinity_graph(chunk_set)
-        apply_dependence_strategy(graph, chunk_set, nest, self.dependence_strategy)
-        distribution = distribute_iterations(
-            chunk_set, hierarchy, self.balance_threshold, graph
-        )
-        return self._finalize(distribution, hierarchy, rng, start)
+        with phase("mapping") as total:
+            with phase("chunking"):
+                chunk_set = form_iteration_chunks(nest, data_space)
+            with phase("affinity_graph"):
+                graph = build_affinity_graph(chunk_set)
+                registry = get_registry()
+                registry.gauge("graph.nodes").set(graph.num_nodes)
+                registry.gauge("graph.forced_pairs").set(len(graph.forced_pairs))
+                apply_dependence_strategy(
+                    graph, chunk_set, nest, self.dependence_strategy
+                )
+            with phase("clustering"):
+                distribution = distribute_iterations(
+                    chunk_set, hierarchy, self.balance_threshold, graph
+                )
+            mapping = self._finalize(distribution, hierarchy, rng)
+        mapping.mapping_time_s = total.elapsed
+        return mapping
 
     def map_distribution(
         self,
@@ -107,19 +116,22 @@ class InterProcessorMapper:
         chunk set itself before clustering.
         """
         rng = rng if rng is not None else make_rng()
-        return self._finalize(distribution, hierarchy, rng, time.perf_counter())
+        with phase("mapping") as total:
+            mapping = self._finalize(distribution, hierarchy, rng)
+        mapping.mapping_time_s = total.elapsed
+        return mapping
 
     def _finalize(
         self,
         distribution: DistributionResult,
         hierarchy: CacheHierarchy,
         rng: np.random.Generator,
-        start: float,
     ) -> Mapping:
         if self.schedule:
-            schedule = schedule_clients(
-                distribution, hierarchy, self.alpha, self.beta
-            )
+            with phase("scheduling"):
+                schedule = schedule_clients(
+                    distribution, hierarchy, self.alpha, self.beta
+                )
         elif self.chunk_order == "random":
             schedule = {
                 c: list(rng.permutation(ids).tolist()) if ids else []
@@ -142,5 +154,4 @@ class InterProcessorMapper:
             order,
             distribution=distribution,
             schedule=schedule,
-            mapping_time_s=time.perf_counter() - start,
         )

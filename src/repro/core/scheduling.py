@@ -33,6 +33,7 @@ from __future__ import annotations
 from repro.core.chunking import IterationChunk
 from repro.core.clustering import DistributionResult
 from repro.hierarchy.topology import CacheHierarchy, CacheNode
+from repro.telemetry import get_registry
 from repro.util.bitset import Tag
 
 __all__ = ["schedule_clients", "schedule_group"]
@@ -123,6 +124,7 @@ def schedule_group(
         if not progressed:
             # All catch-up conditions already met (equal counts) but chunks
             # remain: force one onto the least-loaded non-empty client.
+            get_registry().counter("scheduling.forced").inc()
             i = min(
                 (j for j in range(n) if remaining[j]),
                 key=lambda j: counts[j],
@@ -149,7 +151,9 @@ def schedule_clients(
     if alpha < 0 or beta < 0:
         raise ValueError("alpha and beta must be non-negative")
     out: dict[int, list[int]] = {}
-    for group in _io_level_groups(hierarchy):
+    groups = _io_level_groups(hierarchy)
+    get_registry().counter("scheduling.groups").inc(len(groups))
+    for group in groups:
         chunks = [distribution.assignment[c] for c in group]
         scheduled = schedule_group(chunks, distribution.pool, alpha, beta)
         for client, order in zip(group, scheduled):

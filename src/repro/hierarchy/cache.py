@@ -86,6 +86,15 @@ class ChunkCache:
         self.policy.clear()
         self.stats.reset()
 
+    def publish_metrics(self, registry, **labels) -> None:
+        """Mirror this cache's counters into a telemetry registry.
+
+        Labels default to ``cache=<name>`` so several caches publishing
+        to the same registry stay distinguishable.
+        """
+        labels.setdefault("cache", self.name)
+        self.stats.publish(registry, **labels)
+
     # -- introspection -----------------------------------------------------------
 
     @property

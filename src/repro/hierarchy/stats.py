@@ -1,13 +1,13 @@
 """Per-cache access statistics.
 
 Tracks exactly the quantities the paper reports: accesses, hits, misses
-(Table 2 and Fig. 10 are per-level miss *rates*), plus evictions and
-fills for diagnostics.
+(Table 2 and Fig. 10 are per-level miss *rates*), plus evictions, fills
+and write-backs for diagnostics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["CacheStats"]
 
@@ -22,6 +22,7 @@ class CacheStats:
     cold_misses: int = 0
     fills: int = 0
     evictions: int = 0
+    writebacks: int = 0
 
     def record_hit(self) -> None:
         self.accesses += 1
@@ -38,6 +39,9 @@ class CacheStats:
 
     def record_eviction(self) -> None:
         self.evictions += 1
+
+    def record_writeback(self) -> None:
+        self.writebacks += 1
 
     @property
     def miss_rate(self) -> float:
@@ -62,14 +66,42 @@ class CacheStats:
             cold_misses=self.cold_misses + other.cold_misses,
             fills=self.fills + other.fills,
             evictions=self.evictions + other.evictions,
+            writebacks=self.writebacks + other.writebacks,
         )
 
     def reset(self) -> None:
         self.accesses = self.hits = self.misses = 0
         self.cold_misses = self.fills = self.evictions = 0
+        self.writebacks = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The raw counters as a plain dict (telemetry/export)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "cold_misses": self.cold_misses,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }
+
+    def publish(self, registry, **labels) -> None:
+        """Bridge these counters into a telemetry registry.
+
+        One ``cache.<counter>`` registry counter per field, carrying the
+        given labels (typically ``level=...``) — the single source of
+        truth stays this object; the registry only mirrors it at
+        publication time, so the simulator hot loop never touches
+        telemetry.
+        """
+        for field_name, value in self.as_dict().items():
+            if value:
+                registry.counter(f"cache.{field_name}", **labels).inc(value)
 
     def __repr__(self) -> str:
         return (
             f"CacheStats(accesses={self.accesses}, hits={self.hits}, "
-            f"misses={self.misses}, miss_rate={self.miss_rate:.3f})"
+            f"misses={self.misses}, miss_rate={self.miss_rate:.3f}, "
+            f"writebacks={self.writebacks})"
         )

@@ -25,6 +25,7 @@ import numpy as np
 from repro.hierarchy.topology import CacheHierarchy
 from repro.simulator.metrics import SimulationResult
 from repro.storage.filesystem import ParallelFileSystem
+from repro.telemetry import get_registry
 
 __all__ = ["LatencyModel", "simulate", "interleave_order"]
 
@@ -186,6 +187,7 @@ def simulate(
             if lower_cache.contains(victim):
                 dirty[id(lower_cache)].add(victim)
                 return
+        path[level].stats.record_writeback()
         wb_ms = filesystem.write_chunk(victim)
         io_ms[c] += wb_ms
         if rec is not None:
@@ -272,6 +274,21 @@ def simulate(
         for cache in hierarchy.caches_at_level(name):
             agg = cache.stats if agg is None else agg.merge(cache.stats)
         level_stats[name] = agg
+
+    # Telemetry bridging happens once, here, never in the hot loop: the
+    # per-level aggregates and disk totals mirror into the registry only
+    # when one is active.
+    reg = get_registry()
+    if reg.enabled:
+        for name, agg in level_stats.items():
+            if agg is not None:
+                agg.publish(reg, level=name)
+        reg.counter("disk.reads").inc(filesystem.total_disk_reads())
+        reg.counter("disk.writes").inc(filesystem.total_disk_writes())
+        reg.gauge("disk.busy_ms").set(filesystem.total_busy_ms())
+        io_hist = reg.histogram("sim.client_io_ms")
+        for x in io_ms:
+            io_hist.observe(float(x))
 
     return SimulationResult(
         per_client_io_ms=io_ms,

@@ -31,6 +31,7 @@ from repro.simulator.streams import (
     build_client_streams_with_writes,
 )
 from repro.storage.filesystem import ParallelFileSystem
+from repro.telemetry import get_registry, phase
 from repro.util.rng import derive_seed, make_rng
 from repro.workloads.base import Workload, WorkloadParams
 
@@ -87,25 +88,28 @@ def prepare_experiment(
     params = WorkloadParams(
         chunk_elems=config.chunk_elems, data_chunks=config.data_chunks
     )
-    nest, data_space = workload.build(params)
-    hierarchy = config.build_hierarchy()
-    filesystem = ParallelFileSystem(
-        config.num_storage_nodes,
-        chunk_bytes=config.chunk_elems * 1024,  # 1 element == 1 KB
-        disk_params=config.disk,
-    )
-    mapper = make_mapper(version, config)
-    rng = make_rng(derive_seed(config.seed, workload.name, version))
-    mapping = mapper.map(nest, data_space, hierarchy, rng)
-    mapping.validate(nest.num_iterations)
+    with phase("prepare"):
+        with phase("workload_build"):
+            nest, data_space = workload.build(params)
+            hierarchy = config.build_hierarchy()
+            filesystem = ParallelFileSystem(
+                config.num_storage_nodes,
+                chunk_bytes=config.chunk_elems * 1024,  # 1 element == 1 KB
+                disk_params=config.disk,
+            )
+        mapper = make_mapper(version, config)
+        rng = make_rng(derive_seed(config.seed, workload.name, version))
+        mapping = mapper.map(nest, data_space, hierarchy, rng)
+        mapping.validate(nest.num_iterations)
 
-    if config.writeback:
-        streams, write_masks = build_client_streams_with_writes(
-            mapping, nest, data_space
-        )
-    else:
-        streams = build_client_streams(mapping, nest, data_space)
-        write_masks = None
+        with phase("streams"):
+            if config.writeback:
+                streams, write_masks = build_client_streams_with_writes(
+                    mapping, nest, data_space
+                )
+            else:
+                streams = build_client_streams(mapping, nest, data_space)
+                write_masks = None
     return PreparedExperiment(
         workload=workload.name,
         version=version,
@@ -135,22 +139,34 @@ def run_experiment(
     (:mod:`repro.trace`).
     """
     prep = prepare_experiment(workload, config, version)
-    sim = simulate(
-        prep.streams,
-        prep.hierarchy,
-        prep.filesystem,
-        latency=config.latency,
-        sync_counts=sync_counts,
-        iterations_per_client=prep.iterations_per_client,
-        write_masks=prep.write_masks,
-        prefetch_degree=config.prefetch_degree,
-        num_data_chunks=prep.num_data_chunks,
-        recorder=recorder,
-    )
-    return ExperimentResult(
+    with phase("simulate"):
+        sim = simulate(
+            prep.streams,
+            prep.hierarchy,
+            prep.filesystem,
+            latency=config.latency,
+            sync_counts=sync_counts,
+            iterations_per_client=prep.iterations_per_client,
+            write_masks=prep.write_masks,
+            prefetch_degree=config.prefetch_degree,
+            num_data_chunks=prep.num_data_chunks,
+            recorder=recorder,
+        )
+    result = ExperimentResult(
         workload=workload.name,
         version=version,
         sim=sim,
         mapping_time_s=prep.mapping.mapping_time_s,
         extra={"imbalance": prep.mapping.imbalance()},
     )
+    reg = get_registry()
+    if reg.enabled:
+        labels = {"workload": workload.name, "version": version}
+        reg.counter("experiment.runs", **labels).inc()
+        reg.histogram("experiment.mapping_time_s", **labels).observe(
+            result.mapping_time_s
+        )
+        reg.histogram("experiment.execution_time_ms", **labels).observe(
+            result.execution_time_ms
+        )
+    return result

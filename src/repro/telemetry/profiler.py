@@ -1,0 +1,179 @@
+"""Phase profiler: a nesting context-manager/decorator wall-clock timer.
+
+``phase("mapping")`` times a pipeline stage.  Nested phases form a tree
+(chunking → tagging → affinity graph → clustering → balancing →
+scheduling → simulation), recorded by the active registry's
+:class:`PhaseProfiler` and exported into the run manifest.
+
+The timer itself always runs — callers like the mappers read
+``.elapsed`` to populate ``mapping_time_s`` regardless of telemetry —
+but tree bookkeeping and histogram recording only happen when the
+active registry is enabled, so the disabled cost is two
+``perf_counter`` calls per phase (phases wrap whole pipeline stages,
+never per-access work).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.telemetry.registry import get_registry
+
+__all__ = ["PhaseRecord", "PhaseProfiler", "phase"]
+
+
+@dataclass
+class PhaseRecord:
+    """One timed phase: name, duration, nested sub-phases."""
+
+    name: str
+    elapsed_s: float = 0.0
+    calls: int = 1
+    children: list["PhaseRecord"] = field(default_factory=list)
+
+    def child(self, name: str) -> "PhaseRecord | None":
+        for ch in self.children:
+            if ch.name == name:
+                return ch
+        return None
+
+    def self_s(self) -> float:
+        """Time not attributed to any child phase."""
+        return max(0.0, self.elapsed_s - sum(c.elapsed_s for c in self.children))
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "elapsed_s": self.elapsed_s,
+            "calls": self.calls,
+        }
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "PhaseRecord":
+        return PhaseRecord(
+            name=d["name"],
+            elapsed_s=float(d["elapsed_s"]),
+            calls=int(d.get("calls", 1)),
+            children=[PhaseRecord.from_dict(c) for c in d.get("children", [])],
+        )
+
+
+class PhaseProfiler:
+    """Accumulates :class:`PhaseRecord` trees across a run.
+
+    Repeated phases with the same name under the same parent accumulate
+    into one record (``calls`` counts the invocations) — a suite run
+    times eight workloads' mapping phases as one "mapping" node, which
+    is the aggregate view the manifest wants.
+    """
+
+    def __init__(self):
+        self.roots: list[PhaseRecord] = []
+        self._stack: list[PhaseRecord] = []
+
+    def _enter(self, name: str) -> PhaseRecord:
+        siblings = self._stack[-1].children if self._stack else self.roots
+        for rec in siblings:
+            if rec.name == name:
+                rec.calls += 1
+                break
+        else:
+            rec = PhaseRecord(name, calls=1)
+            siblings.append(rec)
+        self._stack.append(rec)
+        return rec
+
+    def _exit(self, rec: PhaseRecord, elapsed_s: float) -> None:
+        if self._stack and self._stack[-1] is rec:
+            self._stack.pop()
+        rec.elapsed_s += elapsed_s
+
+    def path(self) -> str:
+        """The currently open phase path, e.g. ``"mapping/clustering"``."""
+        return "/".join(r.name for r in self._stack)
+
+    def flatten(self) -> dict[str, float]:
+        """``{"mapping/clustering": seconds, ...}`` for every tree node."""
+        out: dict[str, float] = {}
+
+        def walk(rec: PhaseRecord, prefix: str) -> None:
+            path = f"{prefix}/{rec.name}" if prefix else rec.name
+            out[path] = out.get(path, 0.0) + rec.elapsed_s
+            for ch in rec.children:
+                walk(ch, path)
+
+        for root in self.roots:
+            walk(root, "")
+        return out
+
+    def total_s(self) -> float:
+        return sum(r.elapsed_s for r in self.roots)
+
+    def as_dict(self) -> list[dict[str, Any]]:
+        return [r.as_dict() for r in self.roots]
+
+    def __repr__(self) -> str:
+        return f"PhaseProfiler({len(self.roots)} roots, open={self.path()!r})"
+
+
+class phase:
+    """Time a pipeline stage; context manager and decorator.
+
+    As a context manager::
+
+        with phase("mapping") as p:
+            ...
+        mapping_time_s = p.elapsed
+
+    As a decorator::
+
+        @phase("simulate")
+        def simulate(...): ...
+
+    ``elapsed`` is always measured; the phase tree and the
+    ``phase.duration_seconds`` histogram are only recorded when the
+    active registry is enabled.
+    """
+
+    __slots__ = ("name", "elapsed", "_start", "_record", "_profiler")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.elapsed = 0.0
+        self._start = 0.0
+        self._record: PhaseRecord | None = None
+        self._profiler: PhaseProfiler | None = None
+
+    def __enter__(self) -> "phase":
+        registry = get_registry()
+        if registry.enabled and registry.profiler is not None:
+            self._profiler = registry.profiler
+            self._record = self._profiler._enter(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self._record is not None and self._profiler is not None:
+            self._profiler._exit(self._record, self.elapsed)
+            path = self._profiler.path()
+            full = f"{path}/{self.name}" if path else self.name
+            get_registry().histogram(
+                "phase.duration_seconds", phase=full
+            ).observe(self.elapsed)
+            self._record = None
+            self._profiler = None
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with phase(self.name):
+                return fn(*args, **kwargs)
+
+        return wrapper

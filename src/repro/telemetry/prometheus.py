@@ -1,0 +1,126 @@
+"""Prometheus text exposition of the metrics registry.
+
+Renders the registry (or a saved run manifest) in the Prometheus text
+format, so run metrics can be pushed to a Pushgateway or scraped from a
+file exporter without this repo growing a client dependency.
+
+Conventions: names are prefixed ``repro_`` with dots mapped to
+underscores; counters gain the ``_total`` suffix; histograms are
+exposed as summaries (``_count``/``_sum``) plus ``_min``/``_max``
+gauges (the registry keeps no buckets).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.telemetry.registry import MetricsRegistry, NullRegistry
+
+__all__ = ["to_prometheus_text", "manifest_to_prometheus"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    return "repro_" + _INVALID.sub("_", name.replace(".", "_")) + suffix
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_INVALID.sub("_", str(k))}="{_escape_label(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _Renderer:
+    def __init__(self):
+        self.lines: list[str] = []
+        self._typed: set[str] = set()
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        if name not in self._typed:
+            self._typed.add(name)
+            self.lines.append(f"# HELP {name} {help_text}")
+            self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: dict[str, Any], value: float) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {_format_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n" if self.lines else ""
+
+
+def _render_counter(r: _Renderer, name: str, labels: dict, value: float) -> None:
+    metric = _metric_name(name, "_total")
+    r.header(metric, "counter", f"repro counter {name}")
+    r.sample(metric, labels, value)
+
+
+def _render_gauge(r: _Renderer, name: str, labels: dict, value: float) -> None:
+    metric = _metric_name(name)
+    r.header(metric, "gauge", f"repro gauge {name}")
+    r.sample(metric, labels, value)
+
+
+def _render_histogram(
+    r: _Renderer, name: str, labels: dict, summary: dict[str, float]
+) -> None:
+    metric = _metric_name(name)
+    r.header(metric, "summary", f"repro histogram {name}")
+    r.sample(metric + "_count", labels, summary.get("count", 0))
+    r.sample(metric + "_sum", labels, summary.get("sum", 0.0))
+    for bound in ("min", "max"):
+        bound_metric = _metric_name(f"{name}.{bound}")
+        r.header(bound_metric, "gauge", f"repro histogram {name} {bound}")
+        r.sample(bound_metric, labels, summary.get(bound, 0.0))
+
+
+def to_prometheus_text(registry: MetricsRegistry | NullRegistry) -> str:
+    """Render the live registry in Prometheus text exposition format."""
+    r = _Renderer()
+    for name, labels, counter in registry.counters():
+        _render_counter(r, name, labels, counter.value)
+    for name, labels, gauge in registry.gauges():
+        _render_gauge(r, name, labels, gauge.value)
+    for name, labels, hist in registry.histograms():
+        _render_histogram(r, name, labels, hist.as_dict())
+    return r.text()
+
+
+def manifest_to_prometheus(doc: dict[str, Any]) -> str:
+    """Render a saved run manifest's metrics (plus phase timings).
+
+    Phase-tree nodes become ``repro_phase_seconds{phase="a/b"}`` gauges
+    so a manifest alone round-trips into dashboards.
+    """
+    from repro.telemetry.manifest import _flatten_phases
+
+    r = _Renderer()
+    metrics = doc.get("metrics", {})
+    for entry in metrics.get("counters", []):
+        _render_counter(r, entry["name"], entry.get("labels", {}), entry["value"])
+    for entry in metrics.get("gauges", []):
+        _render_gauge(r, entry["name"], entry.get("labels", {}), entry["value"])
+    for entry in metrics.get("histograms", []):
+        _render_histogram(r, entry["name"], entry.get("labels", {}), entry)
+    phase_metric = "repro_phase_seconds"
+    for path, seconds in sorted(_flatten_phases(doc).items()):
+        r.header(phase_metric, "gauge", "repro phase wall time in seconds")
+        r.sample(phase_metric, {"phase": path}, seconds)
+    return r.text()

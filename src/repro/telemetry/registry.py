@@ -1,0 +1,332 @@
+"""The pipeline-wide metrics registry.
+
+Three instrument kinds cover what the mapper and simulator need to
+report (the quantities the paper's evaluation aggregates — merge/evict
+counts, affinity-graph sizes, load-balance spread, per-level cache
+counters):
+
+* :class:`Counter` — monotonically increasing event counts
+  (``clustering.merges``, ``balancing.moves``);
+* :class:`Gauge` — last-value measurements (``graph.nodes``);
+* :class:`Histogram` — value distributions summarised as
+  count/sum/min/max (``balancing.imbalance``, phase durations).
+
+Instruments have hierarchical dotted names plus optional labels, e.g.
+``clustering.merges{level=L2}``; ``registry.counter(name, **labels)``
+is get-or-create, so instrumentation sites never need to coordinate.
+
+Disabled state: :data:`NULL_REGISTRY` hands out shared no-op
+instruments whose methods do nothing, so instrumented code costs one
+dict lookup and a no-op call per site when telemetry is off.  The
+*active* registry is module-global (:func:`get_registry` /
+:func:`set_registry` / :func:`use_registry`) and defaults to the null
+registry; everything here is single-threaded by design, like the rest
+of the simulator.
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: Hierarchical instrument names: dotted lowercase words.
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"bad metric name {name!r}: use dotted lowercase words "
+            "(e.g. 'clustering.merges')"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A last-value measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """A streaming distribution summary: count, sum, min, max.
+
+    Deliberately bucket-free — the registry feeds single-process run
+    manifests, not a scrape endpoint, and count/sum/min/max answer the
+    questions the reports ask (totals, averages, spread) without
+    per-observation storage.
+    """
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum})"
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in for every instrument kind."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> dict[str, float]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+#: Instrument key: (name, sorted label items).
+_Key = tuple
+
+
+def _key(name: str, labels: dict[str, Any]) -> _Key:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class MetricsRegistry:
+    """Hierarchically named counters/gauges/histograms with labels.
+
+    Also owns the run's :class:`~repro.telemetry.profiler.PhaseProfiler`
+    so the phase-timing tree travels with the metrics into the manifest.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: dict[_Key, Counter] = {}
+        self._gauges: dict[_Key, Gauge] = {}
+        self._histograms: dict[_Key, Histogram] = {}
+        self._kinds: dict[str, str] = {}
+        from repro.telemetry.profiler import PhaseProfiler
+
+        self.profiler = PhaseProfiler()
+
+    def _claim(self, name: str, kind: str) -> None:
+        """Validate a new instrument name; one name, one kind (Prometheus rule)."""
+        _check_name(name)
+        existing = self._kinds.setdefault(name, kind)
+        if existing != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {existing}, "
+                f"cannot reuse as a {kind}"
+            )
+
+    # -- instrument access --------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = _key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            self._claim(name, "counter")
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            self._claim(name, "gauge")
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = _key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            self._claim(name, "histogram")
+            inst = self._histograms[key] = Histogram()
+        return inst
+
+    # -- introspection ------------------------------------------------------------
+
+    def counters(self) -> Iterator[tuple[str, dict[str, str], Counter]]:
+        for (name, labels), inst in sorted(self._counters.items()):
+            yield name, dict(labels), inst
+
+    def gauges(self) -> Iterator[tuple[str, dict[str, str], Gauge]]:
+        for (name, labels), inst in sorted(self._gauges.items()):
+            yield name, dict(labels), inst
+
+    def histograms(self) -> Iterator[tuple[str, dict[str, str], Histogram]]:
+        for (name, labels), inst in sorted(self._histograms.items()):
+            yield name, dict(labels), inst
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def as_dict(self) -> dict[str, list[dict[str, Any]]]:
+        """JSON-safe dump of every instrument (manifest ``metrics`` section)."""
+        return {
+            "counters": [
+                {"name": n, "labels": l, "value": c.value}
+                for n, l, c in self.counters()
+            ],
+            "gauges": [
+                {"name": n, "labels": l, "value": g.value}
+                for n, l, g in self.gauges()
+            ],
+            "histograms": [
+                {"name": n, "labels": l, **h.as_dict()}
+                for n, l, h in self.histograms()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+        )
+
+
+class NullRegistry:
+    """The disabled registry: every instrument is a shared no-op."""
+
+    enabled = False
+    profiler = None
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def counters(self):
+        return iter(())
+
+    def gauges(self):
+        return iter(())
+
+    def histograms(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def as_dict(self) -> dict[str, list]:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+#: The process-wide disabled registry (the default active registry).
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The active registry instrumentation sites record into."""
+    return _active
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry | None,
+) -> MetricsRegistry | NullRegistry:
+    """Install the active registry (``None`` restores the null registry).
+
+    Returns the previously active registry so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | NullRegistry):
+    """Scope ``registry`` as the active one, restoring the previous on exit."""
+    global _active
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous

@@ -42,6 +42,7 @@ from repro.trace.recorder import MemoryRecorder, NullRecorder, TraceRecorder
 from repro.trace.replay import (
     TRACE_ARTIFACT_VERSION,
     TraceArtifact,
+    config_fingerprint,
     load_artifact,
     record,
     replay,
@@ -71,6 +72,7 @@ __all__ = [
     "write_chrome_trace",
     "TRACE_ARTIFACT_VERSION",
     "TraceArtifact",
+    "config_fingerprint",
     "record",
     "save_artifact",
     "load_artifact",

@@ -35,6 +35,7 @@ from repro.workloads.suite import get_workload
 __all__ = [
     "TRACE_ARTIFACT_VERSION",
     "TraceArtifact",
+    "config_fingerprint",
     "record",
     "save_artifact",
     "load_artifact",
@@ -107,6 +108,15 @@ def record(
 
 
 # -- (de)serialisation --------------------------------------------------------------
+
+
+def config_fingerprint(config: SystemConfig) -> dict:
+    """A JSON-safe fingerprint of a config.
+
+    The canonical serialisation shared by trace artifacts and telemetry
+    run manifests, so the two artifact families stay comparable.
+    """
+    return _config_to_dict(config)
 
 
 def _config_to_dict(config: SystemConfig) -> dict:

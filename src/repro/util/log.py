@@ -1,0 +1,65 @@
+"""Namespaced stdlib logging for the repro package.
+
+Every module logs through a ``repro.*`` logger obtained from
+:func:`get_logger`; the CLI calls :func:`configure_logging` once per
+invocation (``--log-level``/``-v`` flags) to attach a stderr handler to
+the ``repro`` root.  Library users who never configure anything get the
+stdlib default (warnings and above via the last-resort handler), so
+importing the package stays silent.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["get_logger", "configure_logging", "DEFAULT_LEVEL"]
+
+_ROOT = "repro"
+
+DEFAULT_LEVEL = "INFO"
+
+#: Verbose runs show where a message came from; INFO runs stay terse.
+_TERSE_FORMAT = "%(message)s"
+_VERBOSE_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("cli")`` and ``get_logger("repro.cli")`` both return
+    the ``repro.cli`` logger; module files typically pass ``__name__``.
+    """
+    if not name or name == _ROOT:
+        return logging.getLogger(_ROOT)
+    if name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_logging(
+    level: int | str = DEFAULT_LEVEL, stream: IO[str] | None = None
+) -> logging.Logger:
+    """(Re)wire the ``repro`` root logger to one stderr stream handler.
+
+    Idempotent: existing handlers on the root are replaced, so repeated
+    CLI invocations in one process (tests, notebooks) never stack
+    handlers or duplicate lines.  DEBUG level switches to a verbose
+    format that names the emitting module.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    root = logging.getLogger(_ROOT)
+    root.setLevel(level)
+    root.propagate = False
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    fmt = _VERBOSE_FORMAT if level <= logging.DEBUG else _TERSE_FORMAT
+    handler.setFormatter(logging.Formatter(fmt))
+    for old in list(root.handlers):
+        root.removeHandler(old)
+    root.addHandler(handler)
+    return root

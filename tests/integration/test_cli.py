@@ -245,3 +245,132 @@ class TestTraceCommands:
 
     def test_diff_one_artifact_exit_code(self, recorded, capsys):
         assert main(["trace", "diff", str(recorded)]) == 2
+
+
+class TestTelemetryFlag:
+    @pytest.fixture()
+    def manifest(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        assert main([
+            "table2", "--scale", "16", "--telemetry", str(path),
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_manifest_written_and_valid(self, manifest):
+        from repro.telemetry import load_manifest
+
+        doc = load_manifest(manifest)  # raises on schema problems
+        assert doc["command"] == "table2"
+
+    def test_manifest_has_phases_and_cache_metrics(self, manifest):
+        doc = json.loads(manifest.read_text())
+        flat_names = {n["name"] for n in doc["phases"]}
+        assert {"prepare", "simulate"} <= flat_names
+        counters = {
+            (c["name"], c["labels"].get("level"))
+            for c in doc["metrics"]["counters"]
+        }
+        assert ("cache.accesses", "L1") in counters
+        assert ("cache.accesses", "L3") in counters
+        # Pre-declared pipeline counters are present even though table2
+        # only maps the Original version.
+        names = {c["name"] for c in doc["metrics"]["counters"]}
+        assert {"clustering.merges", "balancing.moves"} <= names
+
+    def test_manifest_threads_report_summary(self, manifest):
+        doc = json.loads(manifest.read_text())
+        (entry,) = doc["reports"]
+        assert entry["experiment_id"] == "Table 2"
+        assert entry["summary"]  # table2 publishes a machine-readable summary
+
+    def test_figure_run_emits_clustering_counters(self, tmp_path, capsys):
+        path = tmp_path / "f11.json"
+        assert main([
+            "figure11", "--scale", "16", "--telemetry", str(path),
+        ]) == 0
+        doc = json.loads(path.read_text())
+        merges = [
+            c for c in doc["metrics"]["counters"]
+            if c["name"] == "clustering.merges" and c["labels"]
+        ]
+        assert merges and any(c["value"] > 0 for c in merges)
+
+    def test_unwritable_manifest_exit_code(self, tmp_path, capsys):
+        assert main([
+            "table2", "--scale", "16",
+            "--telemetry", str(tmp_path / "no" / "dir" / "run.json"),
+        ]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestMetricsCommands:
+    @pytest.fixture()
+    def manifests(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["table2", "--scale", "16", "--telemetry", str(a)]) == 0
+        assert main(["table2", "--scale", "8", "--telemetry", str(b)]) == 0
+        capsys.readouterr()
+        return a, b
+
+    def test_show(self, manifests, capsys):
+        a, _ = manifests
+        assert main(["metrics", "show", str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "command: table2" in out
+        assert "phases:" in out
+        assert "cache.accesses" in out
+
+    def test_validate_accepts_good_manifest(self, manifests, capsys):
+        a, _ = manifests
+        assert main(["metrics", "validate", str(a)]) == 0
+        assert "valid run manifest" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"record": "nope"}')
+        assert main(["metrics", "validate", str(bad)]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_export_prometheus(self, manifests, capsys):
+        a, _ = manifests
+        assert main(["metrics", "export", str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cache_accesses_total counter" in out
+        assert "repro_phase_seconds" in out
+
+    def test_export_to_file(self, manifests, tmp_path, capsys):
+        a, _ = manifests
+        out_path = tmp_path / "run.prom"
+        assert main(["metrics", "export", str(a), "-o", str(out_path)]) == 0
+        assert "repro_cache_accesses_total" in out_path.read_text()
+
+    def test_diff_two_manifests(self, manifests, capsys):
+        a, b = manifests
+        assert main(["metrics", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "config changes" in out
+        assert "changed metrics" in out
+
+    def test_diff_missing_file_exit_code(self, manifests, tmp_path, capsys):
+        a, _ = manifests
+        missing = tmp_path / "missing.json"
+        assert main(["metrics", "diff", str(a), str(missing)]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestLoggingFlags:
+    def test_timing_line_on_stderr(self, capsys):
+        assert main(["table2", "--scale", "16"]) == 0
+        err = capsys.readouterr().err
+        assert "[" in err and "s]" in err
+
+    def test_verbose_switches_to_debug_format(self, capsys):
+        assert main(["table2", "--scale", "16", "-v"]) == 0
+        assert "repro.cli" in capsys.readouterr().err
+
+    def test_error_level_silences_timing(self, capsys):
+        assert main(["table2", "--scale", "16", "--log-level", "error"]) == 0
+        err = capsys.readouterr().err
+        assert "s]" not in err

@@ -271,3 +271,47 @@ class TestPrefetch:
             plain.per_client_io_ms[0]
         )
         assert fetched.disk_busy_ms > plain.disk_busy_ms
+
+
+class TestWritebackStats:
+    """The CacheStats.writebacks counter and the telemetry bridge."""
+
+    def dirty_run(self, registry=None):
+        from repro.telemetry import use_registry
+
+        h, fs = make_system(l1=1, l2=1, l3=1)
+        streams = empty_streams()
+        masks = empty_masks()
+        streams[0] = np.array([1, 2])
+        masks[0] = np.array([True, False])
+        if registry is None:
+            return simulate(streams, h, fs, write_masks=masks)
+        with use_registry(registry):
+            return simulate(streams, h, fs, write_masks=masks)
+
+    def test_writeback_counted_on_the_evicting_level(self):
+        res = self.dirty_run()
+        assert res.disk_writes == 1
+        # The dirty chunk left the hierarchy from L3 (bottom level).
+        assert res.level_stats["L3"].writebacks == 1
+        assert res.level_stats["L1"].writebacks == 0
+
+    def test_level_stats_bridge_into_registry(self):
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        res = self.dirty_run(registry=reg)
+        for level in ("L1", "L2", "L3"):
+            assert (
+                reg.counter("cache.accesses", level=level).value
+                == res.level_stats[level].accesses
+            )
+        assert reg.counter("cache.writebacks", level="L3").value == 1
+        assert reg.counter("disk.writes").value == 1
+
+    def test_null_registry_records_nothing(self):
+        from repro.telemetry import NULL_REGISTRY, get_registry
+
+        self.dirty_run()
+        assert get_registry() is NULL_REGISTRY
+        assert len(list(NULL_REGISTRY.counters())) == 0

@@ -1,0 +1,172 @@
+"""Tests for run manifests: build/validate/save/load/diff."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import DEFAULT_CONFIG, scaled_config
+from repro.experiments.report import ExperimentReport
+from repro.telemetry import (
+    MANIFEST_SCHEMA_VERSION,
+    MetricsRegistry,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    phase,
+    save_manifest,
+    use_registry,
+    validate_manifest,
+)
+
+
+def _registry_with_data() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        with phase("mapping"):
+            with phase("clustering"):
+                pass
+        reg.counter("clustering.merges", level="L2").inc(7)
+        reg.gauge("graph.nodes").set(64)
+        reg.histogram("balancing.imbalance").observe(0.05)
+    return reg
+
+
+class TestBuild:
+    def test_layout_and_validation(self):
+        doc = build_manifest(
+            _registry_with_data(),
+            config=DEFAULT_CONFIG,
+            command="table2",
+            argv=["table2", "--telemetry", "out.json"],
+        )
+        assert validate_manifest(doc) == []
+        assert doc["record"] == "repro-run-manifest"
+        assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert doc["command"] == "table2"
+        assert doc["seed"] == DEFAULT_CONFIG.seed
+        assert doc["config"]["num_clients"] == DEFAULT_CONFIG.num_clients
+        assert {c["name"] for c in doc["metrics"]["counters"]} == {
+            "clustering.merges"
+        }
+        (root,) = doc["phases"]
+        assert root["name"] == "mapping"
+        assert root["children"][0]["name"] == "clustering"
+
+    def test_versions_recorded(self):
+        doc = build_manifest(MetricsRegistry())
+        assert set(doc["versions"]) == {"repro", "python", "numpy"}
+
+    def test_report_summaries_threaded(self):
+        report = ExperimentReport(
+            experiment_id="table2",
+            title="t",
+            headers=["a"],
+            rows=[[1]],
+            notes=["n"],
+            summary={"avg_improvement": 0.21},
+        )
+        doc = build_manifest(MetricsRegistry(), reports=[report])
+        (entry,) = doc["reports"]
+        assert entry["experiment_id"] == "table2"
+        assert entry["summary"] == {"avg_improvement": 0.21}
+        assert entry["notes"] == ["n"]
+        assert validate_manifest(doc) == []
+
+    def test_json_serialisable(self):
+        doc = build_manifest(_registry_with_data(), config=DEFAULT_CONFIG)
+        json.dumps(doc)  # must not raise
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        assert validate_manifest([]) == ["manifest must be a JSON object"]
+
+    def test_rejects_wrong_record(self):
+        doc = build_manifest(MetricsRegistry())
+        doc["record"] = "something-else"
+        assert any("record" in p for p in validate_manifest(doc))
+
+    def test_rejects_newer_schema(self):
+        doc = build_manifest(MetricsRegistry())
+        doc["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_manifest(doc))
+
+    def test_rejects_malformed_metrics(self):
+        doc = build_manifest(MetricsRegistry())
+        doc["metrics"]["counters"] = [{"name": 3}]
+        problems = validate_manifest(doc)
+        assert any("name" in p for p in problems)
+        assert any("labels" in p for p in problems)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        doc = build_manifest(_registry_with_data(), config=DEFAULT_CONFIG)
+        path = tmp_path / "run.json"
+        save_manifest(path, doc)
+        again = load_manifest(path)
+        assert again["metrics"] == doc["metrics"]
+        assert again["phases"] == doc["phases"]
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"record": "nope"}')
+        with pytest.raises(ValueError, match="invalid manifest"):
+            load_manifest(path)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_manifest(path)
+
+
+class TestDiff:
+    def _doc(self, merges: int, config=None) -> dict:
+        reg = MetricsRegistry()
+        reg.counter("clustering.merges", level="L2").inc(merges)
+        with use_registry(reg):
+            with phase("mapping"):
+                pass
+        return build_manifest(reg, config=config)
+
+    def test_changed_counter_reported(self):
+        diff = diff_manifests(self._doc(3), self._doc(5))
+        ((name, labels, va, vb),) = diff.changed_values
+        assert name == "clustering.merges"
+        assert dict(labels) == {"level": "L2"}
+        assert (va, vb) == (3, 5)
+        assert not diff.is_empty()
+        assert "clustering.merges" in diff.render()
+
+    def test_identical_runs_are_empty(self):
+        a = self._doc(3)
+        b = self._doc(3)
+        diff = diff_manifests(a, b)
+        assert diff.is_empty()
+        assert "metric-identical" in diff.render()
+
+    def test_config_drift_reported(self):
+        diff = diff_manifests(
+            self._doc(3, config=scaled_config(4)),
+            self._doc(3, config=scaled_config(8)),
+        )
+        changed_keys = {k for k, _, _ in diff.config_changes}
+        assert "num_clients" in changed_keys
+
+    def test_only_in_one_side(self):
+        a = self._doc(3)
+        reg = MetricsRegistry()
+        reg.counter("clustering.merges", level="L2").inc(3)
+        reg.counter("balancing.moves").inc(1)
+        b = build_manifest(reg)
+        diff = diff_manifests(a, b)
+        assert (("balancing.moves", ()),) == tuple(diff.only_b)
+
+    def test_phase_timings_compared(self):
+        diff = diff_manifests(self._doc(1), self._doc(1))
+        assert [p[0] for p in diff.phases] == ["mapping"]
+
+    def test_invalid_manifest_rejected(self):
+        with pytest.raises(ValueError, match="manifest b is invalid"):
+            diff_manifests(self._doc(1), {"record": "nope"})

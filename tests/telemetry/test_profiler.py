@@ -1,0 +1,103 @@
+"""Tests for the nesting phase profiler."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, phase, use_registry
+from repro.telemetry.profiler import PhaseRecord
+
+
+class TestPhaseTree:
+    def test_nested_phases_form_a_tree(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with phase("mapping"):
+                with phase("chunking"):
+                    pass
+                with phase("clustering"):
+                    pass
+        (root,) = reg.profiler.roots
+        assert root.name == "mapping"
+        assert [c.name for c in root.children] == ["chunking", "clustering"]
+        assert root.elapsed_s >= sum(c.elapsed_s for c in root.children)
+
+    def test_same_name_siblings_accumulate(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            for _ in range(3):
+                with phase("prepare"):
+                    with phase("streams"):
+                        pass
+        (root,) = reg.profiler.roots
+        assert root.calls == 3
+        assert root.child("streams").calls == 3
+
+    def test_flatten_paths(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with phase("mapping"):
+                with phase("clustering"):
+                    pass
+        flat = reg.profiler.flatten()
+        assert set(flat) == {"mapping", "mapping/clustering"}
+        assert flat["mapping"] >= flat["mapping/clustering"] >= 0.0
+
+    def test_duration_histogram_recorded_per_path(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with phase("mapping"):
+                with phase("clustering"):
+                    pass
+        h = reg.histogram("phase.duration_seconds", phase="mapping/clustering")
+        assert h.count == 1
+
+    def test_self_time(self):
+        rec = PhaseRecord("a", elapsed_s=2.0)
+        rec.children.append(PhaseRecord("b", elapsed_s=0.5))
+        assert rec.self_s() == pytest.approx(1.5)
+
+    def test_record_round_trip(self):
+        rec = PhaseRecord("a", elapsed_s=1.0, calls=2)
+        rec.children.append(PhaseRecord("b", elapsed_s=0.25))
+        again = PhaseRecord.from_dict(rec.as_dict())
+        assert again == rec
+
+
+class TestDisabled:
+    def test_elapsed_still_measured_without_registry(self):
+        with phase("mapping") as p:
+            pass
+        assert p.elapsed >= 0.0
+
+    def test_no_tree_recorded_when_disabled(self):
+        reg = MetricsRegistry()
+        with phase("mapping"):
+            pass
+        assert reg.profiler.roots == []
+
+
+class TestDecorator:
+    def test_decorator_times_calls(self):
+        reg = MetricsRegistry()
+
+        @phase("work")
+        def work(x):
+            return x + 1
+
+        with use_registry(reg):
+            assert work(1) == 2
+            assert work(2) == 3
+        (root,) = reg.profiler.roots
+        assert root.name == "work"
+        assert root.calls == 2
+
+    def test_exception_still_closes_phase(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with pytest.raises(RuntimeError):
+                with phase("mapping"):
+                    raise RuntimeError("boom")
+            # The stack must be unwound so a new root opens cleanly.
+            with phase("simulate"):
+                pass
+        assert [r.name for r in reg.profiler.roots] == ["mapping", "simulate"]
+        assert reg.profiler.path() == ""

@@ -1,0 +1,87 @@
+"""Tests for the Prometheus text exposition exporter."""
+
+import re
+
+from repro.telemetry import (
+    MetricsRegistry,
+    build_manifest,
+    manifest_to_prometheus,
+    phase,
+    to_prometheus_text,
+    use_registry,
+)
+
+#: One exposition line: name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?(\d+(\.\d+)?([eE][-+]?\d+)?|\+Inf|-Inf)$"
+)
+
+
+class TestExposition:
+    def test_counter_gets_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("clustering.merges", level="L2").inc(7)
+        text = to_prometheus_text(reg)
+        assert '# TYPE repro_clustering_merges_total counter' in text
+        assert 'repro_clustering_merges_total{level="L2"} 7' in text
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("graph.nodes").set(64)
+        text = to_prometheus_text(reg)
+        assert "# TYPE repro_graph_nodes gauge" in text
+        assert "repro_graph_nodes 64" in text
+
+    def test_histogram_as_summary_with_bounds(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("balancing.imbalance")
+        h.observe(0.25)
+        h.observe(0.75)
+        text = to_prometheus_text(reg)
+        assert "# TYPE repro_balancing_imbalance summary" in text
+        assert "repro_balancing_imbalance_count 2" in text
+        assert "repro_balancing_imbalance_sum 1.0" in text
+        assert "repro_balancing_imbalance_min 0.25" in text
+        assert "repro_balancing_imbalance_max 0.75" in text
+
+    def test_headers_emitted_once_per_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", level="L1").inc()
+        reg.counter("a.b", level="L2").inc()
+        text = to_prometheus_text(reg)
+        assert text.count("# TYPE repro_a_b_total counter") == 1
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", tag='x"y\\z').inc()
+        text = to_prometheus_text(reg)
+        assert 'tag="x\\"y\\\\z"' in text
+
+    def test_every_line_is_valid_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", level="L1").inc(3)
+        reg.gauge("c.d").set(1.5)
+        reg.histogram("e.f").observe(2.0)
+        for line in to_prometheus_text(reg).splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestManifestExposition:
+    def test_manifest_round_trips_metrics_and_phases(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with phase("mapping"):
+                with phase("clustering"):
+                    pass
+            reg.counter("clustering.merges", level="L2").inc(7)
+        text = manifest_to_prometheus(build_manifest(reg))
+        assert 'repro_clustering_merges_total{level="L2"} 7' in text
+        assert 'repro_phase_seconds{phase="mapping"}' in text
+        assert 'repro_phase_seconds{phase="mapping/clustering"}' in text
+        assert "phase_duration_seconds" in text  # the histogram series too

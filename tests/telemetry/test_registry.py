@@ -1,0 +1,142 @@
+"""Tests for the metrics registry: instrument semantics and activation."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("clustering.merges")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("clustering.merges").inc(-1)
+
+    def test_same_name_and_labels_is_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", level="L2").inc()
+        reg.counter("a.b", level="L2").inc()
+        assert reg.counter("a.b", level="L2").value == 2
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", level="L1").inc(1)
+        reg.counter("a.b", level="L2").inc(2)
+        assert reg.counter("a.b", level="L1").value == 1
+        assert reg.counter("a.b", level="L2").value == 2
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", x="1", y="2").inc()
+        reg.counter("a.b", y="2", x="1").inc()
+        assert reg.counter("a.b", x="1", y="2").value == 2
+
+
+class TestGauge:
+    def test_set_keeps_last_value(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("graph.nodes")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("balancing.imbalance")
+        for x in (1.0, 2.0, 6.0):
+            h.observe(x)
+        assert h.count == 3
+        assert h.sum == pytest.approx(9.0)
+        assert h.min == pytest.approx(1.0)
+        assert h.max == pytest.approx(6.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_empty_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("x.y")
+        assert h.count == 0
+        assert h.mean == 0.0
+
+
+class TestNames:
+    def test_rejects_bad_names(self):
+        reg = MetricsRegistry()
+        for bad in ("", "1abc", "a..b", "A.b", "a-b", "a.b."):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ValueError):
+            reg.gauge("a.b")
+
+
+class TestActivation:
+    def test_default_active_registry_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_null_instruments_are_inert(self):
+        null = NullRegistry()
+        null.counter("a.b").inc(5)
+        null.gauge("a.b").set(1)
+        null.histogram("a.b").observe(2.0)
+        assert null.as_dict() == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_use_registry_scopes_activation(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert get_registry() is reg
+            get_registry().counter("a.b").inc()
+        assert get_registry() is NULL_REGISTRY
+        assert reg.counter("a.b").value == 1
+
+    def test_use_registry_restores_on_error(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with use_registry(reg):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_returns_previous(self):
+        reg = MetricsRegistry()
+        prev = set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            set_registry(prev)
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestAsDict:
+    def test_dump_layout(self):
+        reg = MetricsRegistry()
+        reg.counter("c.x", level="L1").inc(2)
+        reg.gauge("g.y").set(1.5)
+        reg.histogram("h.z").observe(0.5)
+        dump = reg.as_dict()
+        assert dump["counters"] == [
+            {"name": "c.x", "labels": {"level": "L1"}, "value": 2}
+        ]
+        assert dump["gauges"] == [{"name": "g.y", "labels": {}, "value": 1.5}]
+        (hist,) = dump["histograms"]
+        assert hist["name"] == "h.z"
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.5)

@@ -1,0 +1,57 @@
+"""Tests for the namespaced logging setup."""
+
+import io
+import logging
+
+import pytest
+
+from repro.util.log import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespaces_bare_names(self):
+        assert get_logger("cli").name == "repro.cli"
+
+    def test_keeps_qualified_names(self):
+        assert get_logger("repro.core.mapper").name == "repro.core.mapper"
+
+    def test_root(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_writes_to_stream_at_info(self):
+        buf = io.StringIO()
+        configure_logging("info", stream=buf)
+        get_logger("cli").info("hello %d", 7)
+        assert buf.getvalue() == "hello 7\n"
+
+    def test_debug_uses_verbose_format(self):
+        buf = io.StringIO()
+        configure_logging("debug", stream=buf)
+        get_logger("cli").debug("deep")
+        assert buf.getvalue() == "DEBUG repro.cli: deep\n"
+
+    def test_level_filters(self):
+        buf = io.StringIO()
+        configure_logging("warning", stream=buf)
+        get_logger("cli").info("quiet")
+        get_logger("cli").warning("loud")
+        assert buf.getvalue() == "loud\n"
+
+    def test_idempotent_no_duplicate_handlers(self):
+        buf = io.StringIO()
+        configure_logging("info", stream=buf)
+        configure_logging("info", stream=buf)
+        get_logger("cli").info("once")
+        assert buf.getvalue() == "once\n"
+        assert len(logging.getLogger("repro").handlers) == 1
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("chatty")
+
+    def test_accepts_numeric_level(self):
+        root = configure_logging(logging.ERROR, stream=io.StringIO())
+        assert root.level == logging.ERROR
