@@ -8,6 +8,9 @@ and drives the trace and telemetry subsystems:
    $ repro table2
    $ repro figure11
    $ repro all --scale 4   # every experiment, in paper order
+   $ repro all --workers 4 --cache ~/.cache/repro   # parallel + cached
+   $ repro cache stats
+   $ repro cache gc --max-bytes 50000000
    $ repro suite           # raw per-(workload, version) metrics
    $ repro table2 --scale 16 --telemetry run.json
    $ repro metrics show run.json
@@ -21,6 +24,7 @@ and drives the trace and telemetry subsystems:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -68,6 +72,40 @@ def _config_from(args: argparse.Namespace):
     return config_mod.scaled_config(scale) if scale else None
 
 
+def _default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.expanduser(
+        "~/.cache/repro"
+    )
+
+
+def _invoke(args: argparse.Namespace) -> int:
+    """Run the command, inside an execution context when one is requested.
+
+    ``--cache DIR`` installs a persistent :class:`ResultStore`;
+    ``--workers N`` (N > 1) a process-pool executor.  ``--workers``
+    without ``--cache`` still gets an in-memory store so a run dedupes
+    its own repeated (workload, config, version) triples.  Without
+    either flag the command runs exactly as before.
+    """
+    workers = getattr(args, "workers", 0)
+    cache = getattr(args, "cache", "")
+    if not workers and not cache:
+        return args.func(args)
+    from repro.exec import (
+        ExperimentExecutor,
+        MemoryStore,
+        ResultStore,
+        use_execution,
+    )
+
+    executor = ExperimentExecutor(workers=workers) if workers > 1 else None
+    store = ResultStore(cache) if cache else MemoryStore()
+    args._store = store
+    with use_execution(executor=executor, store=store):
+        return args.func(args)
+
+
 def _note_report(args: argparse.Namespace, report) -> None:
     """Collect a rendered report for the run manifest, when one is open."""
     reports = getattr(args, "_reports", None)
@@ -95,6 +133,20 @@ def _cmd_discussion(args: argparse.Namespace) -> int:
 
 def _cmd_all(args: argparse.Namespace) -> int:
     config = _config_from(args)
+    from repro.exec import execute_plan, get_execution, plan_all
+
+    ctx = get_execution()
+    if ctx.executor is not None or ctx.store is not None:
+        # Pre-execute one deduplicated plan covering every suite sweep
+        # below: Figure 10/11 share all their triples, the sweeps share
+        # the default point, and the figures then hit the store only.
+        plan = plan_all(config)
+        _LOG.info(
+            "prewarming %d unique tasks (%d duplicates deduped)",
+            len(plan),
+            plan.duplicates,
+        )
+        execute_plan(plan)
     for name in EXPERIMENTS:
         report = EXPERIMENTS[name](config)
         _note_report(args, report)
@@ -143,6 +195,49 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 ]
             )
     print(format_table(headers, rows, title="Suite: raw metrics"))
+    return 0
+
+
+# -- cache commands -----------------------------------------------------------------
+
+
+def _open_store(args: argparse.Namespace):
+    from repro.exec import ResultStore
+
+    return ResultStore(args.cache or _default_cache_dir())
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    s = store.stats()
+    rows = [
+        ["directory", str(store.root)],
+        ["entries", s.entries],
+        ["results", s.results],
+        ["reports", s.reports],
+        ["bytes", s.bytes],
+    ]
+    print(format_table(["field", "value"], rows, title="Result store"))
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    before = store.stats()
+    evicted = store.gc(args.max_bytes)
+    after = store.stats()
+    print(
+        f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'} "
+        f"({before.bytes - after.bytes} bytes); "
+        f"{after.entries} entries ({after.bytes} bytes) remain"
+    )
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    removed = store.clear()
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
     return 0
 
 
@@ -478,7 +573,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect metrics/phase timings and write a JSON run manifest here",
     )
 
-    experiment_parents = [log_parent, scale_parent, telemetry_parent]
+    exec_parent = argparse.ArgumentParser(add_help=False)
+    exec_parent.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run simulations on a process pool of N workers (0/1 = serial)",
+    )
+    exec_parent.add_argument(
+        "--cache",
+        default="",
+        metavar="DIR",
+        help="content-addressed result store directory (reused across runs)",
+    )
+
+    experiment_parents = [log_parent, scale_parent, telemetry_parent, exec_parent]
 
     sub = parser.add_subparsers(dest="command", required=True, metavar="command")
 
@@ -519,6 +629,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", default="", help="also dump raw results to this JSON file"
     )
     p.set_defaults(func=_cmd_suite)
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the on-disk result store"
+    )
+    csub = cache.add_subparsers(
+        dest="cache_command", required=True, metavar="action"
+    )
+    cache_parent = argparse.ArgumentParser(add_help=False)
+    cache_parent.add_argument(
+        "--cache",
+        default="",
+        metavar="DIR",
+        help="store directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+    p = csub.add_parser(
+        "stats",
+        parents=[log_parent, cache_parent],
+        help="entry counts and on-disk size",
+    )
+    p.set_defaults(func=_cmd_cache_stats)
+
+    p = csub.add_parser(
+        "gc",
+        parents=[log_parent, cache_parent],
+        help="evict oldest entries down to a byte budget",
+    )
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="evict oldest-written entries until the store fits this size",
+    )
+    p.set_defaults(func=_cmd_cache_gc)
+
+    p = csub.add_parser(
+        "clear",
+        parents=[log_parent, cache_parent],
+        help="remove every store entry",
+    )
+    p.set_defaults(func=_cmd_cache_clear)
 
     metrics = sub.add_parser(
         "metrics", help="inspect, export, diff and validate run manifests"
@@ -649,16 +800,19 @@ def _run_with_telemetry(args: argparse.Namespace, argv: list[str] | None) -> int
     declare_pipeline_metrics(registry)
     args._reports = []
     with use_registry(registry):
-        status = args.func(args)
+        status = _invoke(args)
     if status != 0:
         return status
     config = _config_from(args) or config_mod.DEFAULT_CONFIG
+    store = getattr(args, "_store", None)
+    meta = {"result_store": store.stats().as_dict()} if store is not None else None
     doc = build_manifest(
         registry,
         config=config,
         command=args.command,
         argv=list(argv) if argv is not None else sys.argv[1:],
         reports=args._reports,
+        meta=meta,
     )
     try:
         save_manifest(args.telemetry, doc)
@@ -680,7 +834,7 @@ def main(argv: list[str] | None = None) -> int:
         if getattr(args, "telemetry", ""):
             status = _run_with_telemetry(args, argv)
         else:
-            status = args.func(args)
+            status = _invoke(args)
     except BrokenPipeError:
         # stdout closed early (e.g. piped into head): exit quietly like a
         # well-behaved filter.  Point stdout at devnull so the interpreter's

@@ -1,0 +1,128 @@
+"""Canonical experiment identities for caching and deduplication.
+
+An :class:`ExperimentKey` names one simulation task — a (workload,
+config, version) triple plus any engine options — stably across
+processes and sessions.  The config part reuses the telemetry/trace
+``config_fingerprint`` serialisation so the three artifact families
+(trace artifacts, run manifests, cached results) agree on what "the
+same configuration" means; the seed participates through the
+fingerprint, so changing ``config.seed`` changes the key.
+
+The digest is a SHA-256 over a canonical JSON encoding (sorted keys,
+no whitespace) prefixed with a key-schema tag, so any change to the
+key derivation itself invalidates every existing digest rather than
+silently aliasing old entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import SystemConfig
+
+__all__ = ["KEY_SCHEMA_VERSION", "ExperimentKey", "experiment_key"]
+
+#: Bump when the key derivation changes; digests embed this version.
+KEY_SCHEMA_VERSION = 1
+
+
+def _canonical_json(doc: Any) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ExperimentKey:
+    """The stable identity of one (workload, config, version) task.
+
+    ``config_json`` and ``engine_json`` hold canonical JSON strings so
+    the key is hashable and order-insensitive; build keys through
+    :func:`experiment_key` rather than by hand.
+    """
+
+    workload: str
+    version: str
+    config_json: str
+    engine_json: str = "{}"
+    schema_version: int = field(default=KEY_SCHEMA_VERSION)
+
+    @property
+    def digest(self) -> str:
+        """Hex SHA-256 content address of this key."""
+        material = _canonical_json(
+            {
+                "record": "repro-experiment-key",
+                "schema_version": self.schema_version,
+                "workload": self.workload,
+                "version": self.version,
+                "config": self.config_json,
+                "engine": self.engine_json,
+            }
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    @property
+    def config(self) -> dict:
+        """The config fingerprint as a dict (decoded on demand)."""
+        return json.loads(self.config_json)
+
+    @property
+    def engine(self) -> dict:
+        return json.loads(self.engine_json)
+
+    @property
+    def seed(self) -> int | None:
+        return self.config.get("seed")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe form embedded in store entries and manifests."""
+        return {
+            "schema_version": self.schema_version,
+            "workload": self.workload,
+            "version": self.version,
+            "config": self.config,
+            "engine": self.engine,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ExperimentKey":
+        return cls(
+            workload=d["workload"],
+            version=d["version"],
+            config_json=_canonical_json(d["config"]),
+            engine_json=_canonical_json(d.get("engine", {})),
+            schema_version=int(d.get("schema_version", KEY_SCHEMA_VERSION)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentKey({self.workload}/{self.version}, "
+            f"{self.digest[:12]})"
+        )
+
+
+def experiment_key(
+    workload: str,
+    config: "SystemConfig",
+    version: str,
+    engine: Mapping[str, Any] | None = None,
+) -> ExperimentKey:
+    """Derive the key for one task.
+
+    ``workload`` is the suite name (workload builders are pure functions
+    of name + config, so the name plus the config fingerprint pins the
+    generated access streams); ``engine`` carries any extra simulation
+    options outside the config (e.g. explicit ``sync_counts``).
+    """
+    from repro.trace.replay import config_fingerprint
+
+    return ExperimentKey(
+        workload=workload,
+        version=version,
+        config_json=_canonical_json(config_fingerprint(config)),
+        engine_json=_canonical_json(dict(engine or {})),
+    )

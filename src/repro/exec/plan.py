@@ -1,0 +1,233 @@
+"""Sweep planning: dedupe experiment tasks, consult the store, fan out.
+
+A :class:`SweepPlan` collects the (workload, config, version) tasks of
+one or more experiments and dedupes identical
+:class:`~repro.exec.keys.ExperimentKey` digests — Figure 10 and
+Figure 11 share all 24 of their (workload, config, version) triples,
+and the Figure 12/13/14 sweeps each revisit the default-config point —
+so a combined plan simulates every unique key exactly once.
+
+:func:`execute_plan` is the single execution path: store lookups
+first, then the remaining misses through the executor (process pool or
+in-process serial), store write-back, and worker-metric merging, all
+in deterministic task order.
+
+:func:`plan_all` pre-plans everything ``repro all`` will need by
+asking each figure module for its own sweep (the modules export
+``VERSIONS_USED``/``sweep_configs`` precisely so the planner can never
+drift from what ``run()`` actually does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
+
+from repro.exec.context import get_execution
+from repro.exec.executor import SerialExecutor, task_payload
+from repro.exec.keys import ExperimentKey, experiment_key
+from repro.simulator.metrics import ExperimentResult
+from repro.simulator.serialization import result_from_dict
+from repro.telemetry import get_registry, phase
+from repro.util.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import SystemConfig
+    from repro.experiments.report import ExperimentReport
+    from repro.workloads.base import Workload
+
+__all__ = ["ExperimentTask", "SweepPlan", "execute_plan", "plan_all", "cached_report"]
+
+_LOG = get_logger("exec.plan")
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One runnable unit: a key plus the materials to execute it."""
+
+    key: ExperimentKey
+    workload: str
+    config: "SystemConfig"
+    version: str
+    engine: tuple = ()
+
+    def engine_dict(self) -> dict[str, Any]:
+        return dict(self.engine)
+
+
+@dataclass
+class SweepPlan:
+    """An ordered, key-deduplicated collection of experiment tasks."""
+
+    tasks: list[ExperimentTask] = field(default_factory=list)
+    _seen: set[str] = field(default_factory=set)
+    #: How many add() calls were dropped as duplicates of an earlier key.
+    duplicates: int = 0
+
+    def add(
+        self,
+        workload: "Workload | str",
+        config: "SystemConfig",
+        version: str,
+        engine: Mapping[str, Any] | None = None,
+    ) -> ExperimentKey:
+        """Add one task (idempotent per key); returns its key."""
+        name = workload if isinstance(workload, str) else workload.name
+        key = experiment_key(name, config, version, engine)
+        if key.digest in self._seen:
+            self.duplicates += 1
+            return key
+        self._seen.add(key.digest)
+        self.tasks.append(
+            ExperimentTask(
+                key=key,
+                workload=name,
+                config=config,
+                version=version,
+                engine=tuple(sorted((engine or {}).items())),
+            )
+        )
+        return key
+
+    def add_suite(
+        self,
+        config: "SystemConfig",
+        versions: Iterable[str],
+        workloads: Iterable["Workload"] | None = None,
+    ) -> None:
+        """Add every (workload, version) pair of one ``run_suite`` call."""
+        from repro.workloads.suite import SUITE
+
+        for w in workloads if workloads is not None else SUITE:
+            for v in versions:
+                self.add(w, config, v)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[ExperimentTask]:
+        return iter(self.tasks)
+
+
+def execute_plan(
+    plan: SweepPlan | Iterable[ExperimentTask],
+    executor=None,
+    store=None,
+) -> dict[str, ExperimentResult]:
+    """Run a plan, consulting the store first: ``{key digest: result}``.
+
+    ``executor``/``store`` default from the active execution context
+    (:mod:`repro.exec.context`); with neither, tasks run serially
+    in-process.  Results — cached or fresh — all pass through the same
+    ``result_to_dict`` round-trip, so the output is bit-identical
+    regardless of worker count or cache temperature.
+    """
+    ctx = get_execution()
+    executor = executor if executor is not None else ctx.executor
+    store = store if store is not None else ctx.store
+    tasks = list(plan)
+    results: dict[str, ExperimentResult] = {}
+    misses: list[ExperimentTask] = []
+    for t in tasks:
+        cached = store.get(t.key) if store is not None else None
+        if cached is not None:
+            results[t.key.digest] = cached
+        else:
+            misses.append(t)
+    if misses:
+        reg = get_registry()
+        collect = reg.enabled
+        payloads = [
+            task_payload(
+                t.workload, t.config, t.version, t.engine_dict(), collect
+            )
+            for t in misses
+        ]
+        ex = executor if executor is not None else SerialExecutor()
+        _LOG.debug(
+            "executing %d/%d tasks (%d store hits) on %r",
+            len(misses),
+            len(tasks),
+            len(tasks) - len(misses),
+            ex,
+        )
+        with phase("execute_plan"):
+            outs = ex.run_payloads(payloads)
+        for t, out in zip(misses, outs):
+            if collect and out.get("metrics"):
+                reg.merge_snapshot(out["metrics"])
+            result = result_from_dict(out["result"])
+            if store is not None:
+                store.put(t.key, result)
+            results[t.key.digest] = result
+    return results
+
+
+def plan_all(config: "SystemConfig | None" = None) -> SweepPlan:
+    """One deduplicated plan covering every ``repro all`` suite sweep.
+
+    Mirrors exactly what the figure/table ``run()`` functions will ask
+    for (each module exports its sweep), so pre-executing this plan
+    warms the store such that the figures themselves simulate nothing.
+    """
+    from repro.experiments import (
+        figure10,
+        figure11,
+        figure12,
+        figure13,
+        figure14,
+        figure18,
+        table2,
+    )
+    from repro.experiments.config import DEFAULT_CONFIG, scaled_config
+
+    default = config or DEFAULT_CONFIG
+    sweep_base = config or scaled_config(4)
+    plan = SweepPlan()
+    plan.add_suite(default, table2.VERSIONS_USED)
+    plan.add_suite(default, figure10.VERSIONS_USED)
+    plan.add_suite(default, figure11.VERSIONS_USED)
+    for cfg in figure12.sweep_configs(sweep_base):
+        plan.add_suite(cfg, figure12.VERSIONS_USED)
+    for cfg in figure13.sweep_configs(sweep_base):
+        plan.add_suite(cfg, figure13.VERSIONS_USED)
+    for cfg in figure14.sweep_configs(sweep_base):
+        plan.add_suite(cfg, figure14.VERSIONS_USED)
+    plan.add_suite(default, figure18.VERSIONS_USED)
+    _LOG.info(
+        "planned %d unique tasks (%d duplicates deduped)",
+        len(plan),
+        plan.duplicates,
+    )
+    return plan
+
+
+def cached_report(
+    name: str,
+    config: "SystemConfig",
+    build: Callable[["SystemConfig"], "ExperimentReport"],
+    store=None,
+) -> "ExperimentReport":
+    """Build-or-fetch a whole experiment report through the store.
+
+    For experiments whose unit of caching is the rendered analysis
+    rather than per-(workload, version) results — the §5.4 discussion
+    pipelines map custom nests, so their cache key is just
+    (experiment name, config).  Without an active store this is a
+    plain ``build(config)`` call.
+    """
+    from repro.exec.store import _report_from_dict, _report_to_dict
+
+    store = store if store is not None else get_execution().store
+    if store is None:
+        # Same canonicalising round-trip as the cached path, so output
+        # is identical with or without a store.
+        return _report_from_dict(_report_to_dict(build(config)))
+    key = experiment_key(name, config, "@report", {"kind": "report"})
+    report = store.get_report(key)
+    if report is None:
+        # The same dict round-trip the store applies, so the report is
+        # identical whether this call built it or a previous run did.
+        report = _report_from_dict(_report_to_dict(build(config)))
+        store.put_report(key, report)
+    return report

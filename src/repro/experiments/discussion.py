@@ -104,7 +104,14 @@ def _simulate_streams(streams, config: SystemConfig, iterations, sync_counts=Non
 
 
 def run_multinest(config: SystemConfig | None = None) -> ExperimentReport:
+    """Build (or fetch from the active result store) the multi-nest report."""
     config = config or scaled_config(4)
+    from repro.exec.plan import cached_report
+
+    return cached_report("discussion.multinest", config, _build_multinest)
+
+
+def _build_multinest(config: SystemConfig) -> ExperimentReport:
     nests, ds = two_phase_nests(config)
     hierarchy = config.build_hierarchy()
     mapper = InterProcessorMapper(balance_threshold=config.balance_threshold)
@@ -158,7 +165,14 @@ def run_multinest(config: SystemConfig | None = None) -> ExperimentReport:
 
 
 def run_dependences(config: SystemConfig | None = None) -> ExperimentReport:
+    """Build (or fetch from the active result store) the dependences report."""
     config = config or scaled_config(4)
+    from repro.exec.plan import cached_report
+
+    return cached_report("discussion.dependences", config, _build_dependences)
+
+
+def _build_dependences(config: SystemConfig) -> ExperimentReport:
     nest, ds = dependent_nest(config)
     hierarchy = config.build_hierarchy()
     rows = []

@@ -19,9 +19,12 @@ from repro.experiments.config import DEFAULT_CONFIG, SystemConfig
 from repro.experiments.harness import run_suite
 from repro.experiments.report import ExperimentReport
 
-__all__ = ["run", "LEVELS"]
+__all__ = ["run", "LEVELS", "VERSIONS_USED"]
 
 LEVELS = ("L1", "L2", "L3")
+
+#: The versions this figure sweeps (consumed by ``repro.exec.plan_all``).
+VERSIONS_USED = ("original", "intra", "inter")
 
 #: Paper's average reductions, for the report footer (percent).
 PAPER_AVG = {
@@ -32,7 +35,7 @@ PAPER_AVG = {
 
 def run(config: SystemConfig | None = None) -> ExperimentReport:
     config = config or DEFAULT_CONFIG
-    results = run_suite(config, versions=("original", "intra", "inter"))
+    results = run_suite(config, versions=VERSIONS_USED)
     headers = ["application"] + [
         f"{v} {l}" for v in ("intra", "inter") for l in LEVELS
     ]

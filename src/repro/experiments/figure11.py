@@ -11,7 +11,10 @@ from repro.experiments.config import DEFAULT_CONFIG, SystemConfig
 from repro.experiments.harness import average_improvement, normalized_suite, run_suite
 from repro.experiments.report import ExperimentReport
 
-__all__ = ["run"]
+__all__ = ["run", "VERSIONS_USED"]
+
+#: The versions this figure sweeps (consumed by ``repro.exec.plan_all``).
+VERSIONS_USED = ("original", "intra", "inter")
 
 #: The paper's average improvements (fractions).
 PAPER_AVG = {
@@ -22,7 +25,7 @@ PAPER_AVG = {
 
 def run(config: SystemConfig | None = None) -> ExperimentReport:
     config = config or DEFAULT_CONFIG
-    results = run_suite(config, versions=("original", "intra", "inter"))
+    results = run_suite(config, versions=VERSIONS_USED)
     normalized = normalized_suite(results)
     headers = [
         "application",

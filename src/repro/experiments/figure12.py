@@ -18,11 +18,19 @@ from repro.experiments.config import SystemConfig, scaled_config
 from repro.experiments.harness import normalized_suite, run_suite
 from repro.experiments.report import ExperimentReport
 
-__all__ = ["run", "TOPOLOGIES"]
+__all__ = ["run", "TOPOLOGIES", "VERSIONS_USED", "sweep_configs"]
 
 #: Scaled (w, x, y) sweep: default, deeper client fan-in, the paper's
 #: "more clients, same I/O" headline case, and deeper I/O fan-in.
 TOPOLOGIES = ((16, 8, 4), (16, 4, 4), (32, 8, 4), (16, 8, 2))
+
+#: The versions this figure sweeps (consumed by ``repro.exec.plan_all``).
+VERSIONS_USED = ("original", "inter", "inter+sched")
+
+
+def sweep_configs(base: SystemConfig) -> list[SystemConfig]:
+    """The exact configs ``run`` sweeps, in order (planner contract)."""
+    return [base.with_topology(w, x, y) for w, x, y in TOPOLOGIES]
 
 
 def run(base_config: SystemConfig | None = None) -> ExperimentReport:
@@ -38,11 +46,8 @@ def run(base_config: SystemConfig | None = None) -> ExperimentReport:
     ]
     rows = []
     summary = {}
-    for w, x, y in TOPOLOGIES:
-        config = base.with_topology(w, x, y)
-        results = run_suite(
-            config, versions=("original", "inter", "inter+sched")
-        )
+    for (w, x, y), config in zip(TOPOLOGIES, sweep_configs(base)):
+        results = run_suite(config, versions=VERSIONS_USED)
         normalized = normalized_suite(results)
         row = [f"({w},{x},{y})", w // x, x // y]
         for version in ("inter", "inter+sched"):

@@ -13,7 +13,7 @@ from repro.experiments.config import SystemConfig, scaled_config
 from repro.experiments.harness import normalized_suite, run_suite
 from repro.experiments.report import ExperimentReport
 
-__all__ = ["run", "CAPACITY_MULTIPLIERS"]
+__all__ = ["run", "CAPACITY_MULTIPLIERS", "VERSIONS_USED", "sweep_configs"]
 
 #: Per-level multipliers of the default capacities, mirroring the paper's
 #: (1,1,1) / (2,2,2) / (4,4,4) GB style sweep plus an asymmetric point.
@@ -32,10 +32,23 @@ CAPACITY_MULTIPLIERS = (
 #: below 1x (a downscale artifact) and is reported alongside.
 TREND_VERSION = "inter+sched"
 
+#: The versions this figure sweeps (consumed by ``repro.exec.plan_all``).
+VERSIONS_USED = ("original", "inter", "inter+sched")
+
+
+def sweep_configs(base: SystemConfig) -> list[SystemConfig]:
+    """The exact configs ``run`` sweeps, in order (planner contract)."""
+    l1, l2, l3 = base.cache_elems
+    return [
+        base.with_cache_capacities(
+            max(64, int(l1 * m1)), max(64, int(l2 * m2)), max(64, int(l3 * m3))
+        )
+        for m1, m2, m3 in CAPACITY_MULTIPLIERS
+    ]
+
 
 def run(base_config: SystemConfig | None = None) -> ExperimentReport:
     base = base_config or scaled_config(4)
-    l1, l2, l3 = base.cache_elems
     headers = [
         "capacities (L1,L2,L3)",
         "inter io",
@@ -45,13 +58,8 @@ def run(base_config: SystemConfig | None = None) -> ExperimentReport:
     ]
     rows = []
     summary = {}
-    for m1, m2, m3 in CAPACITY_MULTIPLIERS:
-        config = base.with_cache_capacities(
-            max(64, int(l1 * m1)), max(64, int(l2 * m2)), max(64, int(l3 * m3))
-        )
-        results = run_suite(
-            config, versions=("original", "inter", "inter+sched")
-        )
+    for (m1, m2, m3), config in zip(CAPACITY_MULTIPLIERS, sweep_configs(base)):
+        results = run_suite(config, versions=VERSIONS_USED)
         normalized = normalized_suite(results)
         label = f"({m1:g}x,{m2:g}x,{m3:g}x)"
         row = [label]

@@ -13,10 +13,18 @@ from repro.experiments.config import SystemConfig, scaled_config
 from repro.experiments.harness import normalized_suite, run_suite
 from repro.experiments.report import ExperimentReport
 
-__all__ = ["run", "CHUNK_SIZES"]
+__all__ = ["run", "CHUNK_SIZES", "VERSIONS_USED", "sweep_configs"]
 
 #: Chunk sizes in elements (1 element == 1 KB: the paper's 16/32/64/128 KB).
 CHUNK_SIZES = (16, 32, 64, 128)
+
+#: The versions this figure sweeps (consumed by ``repro.exec.plan_all``).
+VERSIONS_USED = ("original", "inter")
+
+
+def sweep_configs(base: SystemConfig) -> list[SystemConfig]:
+    """The exact configs ``run`` sweeps, in order (planner contract)."""
+    return [base.with_chunk_elems(chunk) for chunk in CHUNK_SIZES]
 
 
 def run(base_config: SystemConfig | None = None) -> ExperimentReport:
@@ -24,9 +32,8 @@ def run(base_config: SystemConfig | None = None) -> ExperimentReport:
     headers = ["chunk size", "inter io", "inter exec", "mapping time (s)"]
     rows = []
     summary = {}
-    for chunk in CHUNK_SIZES:
-        config = base.with_chunk_elems(chunk)
-        results = run_suite(config, versions=("original", "inter"))
+    for chunk, config in zip(CHUNK_SIZES, sweep_configs(base)):
+        results = run_suite(config, versions=VERSIONS_USED)
         normalized = normalized_suite(results)
         io = sum(n["inter"]["io_latency"] for n in normalized.values()) / len(
             normalized

@@ -13,7 +13,10 @@ from repro.experiments.config import DEFAULT_CONFIG, SystemConfig
 from repro.experiments.harness import normalized_suite, run_suite
 from repro.experiments.report import ExperimentReport
 
-__all__ = ["run"]
+__all__ = ["run", "VERSIONS_USED"]
+
+#: The versions this figure sweeps (consumed by ``repro.exec.plan_all``).
+VERSIONS_USED = ("original", "inter", "inter+sched")
 
 #: Paper averages for the footer.
 PAPER_AVG = {"L1_misses": 0.722, "io_latency": 0.693, "execution_time": 0.781}
@@ -21,7 +24,7 @@ PAPER_AVG = {"L1_misses": 0.722, "io_latency": 0.693, "execution_time": 0.781}
 
 def run(config: SystemConfig | None = None) -> ExperimentReport:
     config = config or DEFAULT_CONFIG
-    results = run_suite(config, versions=("original", "inter", "inter+sched"))
+    results = run_suite(config, versions=VERSIONS_USED)
     normalized = normalized_suite(results)
     headers = [
         "application",

@@ -1,8 +1,16 @@
 """Shared sweep driver for the figure/table experiments.
 
-Runs versions over the suite, caches per-(workload, config, version)
-results within a sweep, and computes the paper's normalized values and
-average improvements.
+Runs versions over the suite and computes the paper's normalized
+values and average improvements.  Execution is delegated to the
+:mod:`repro.exec` layer when an executor and/or result store is
+supplied (directly, or via the active
+:func:`repro.exec.use_execution` context): the sweep becomes a
+deduplicated :class:`~repro.exec.plan.SweepPlan` whose tasks consult
+the content-addressed store first and fan the misses out over the
+process pool, so each unique (workload, config, version) key — the
+store's cache key — simulates at most once per sweep *and* across
+sweeps sharing a store.  With neither (and by default), the classic
+serial in-process loop runs unchanged.
 """
 
 from __future__ import annotations
@@ -22,15 +30,35 @@ def run_suite(
     versions: Sequence[str] = VERSIONS,
     workloads: Iterable[Workload] | None = None,
     recorder_factory: Callable[[str, str], object] | None = None,
+    executor=None,
+    store=None,
 ) -> dict[str, dict[str, ExperimentResult]]:
     """Run every (workload, version) pair: ``{workload: {version: result}}``.
+
+    ``executor`` (a :class:`repro.exec.ExperimentExecutor`) parallelizes
+    the independent runs; ``store`` (a
+    :class:`repro.exec.ResultStore`/:class:`~repro.exec.MemoryStore`)
+    caches per-(workload, config, version) results within and across
+    sweeps.  Both default from the active execution context
+    (:func:`repro.exec.use_execution`); with neither, runs execute
+    serially in-process exactly as before.
 
     ``recorder_factory(workload_name, version)`` may return a fresh
     :class:`repro.trace.recorder.TraceRecorder` per run; the recorder
     receives that run's event trace and is attached to the result as
-    ``extra["trace"]``.
+    ``extra["trace"]``.  Recorders capture live engine state, so a
+    recorded sweep always runs serially in-process and bypasses the
+    store.
     """
     workloads = list(workloads) if workloads is not None else list(SUITE)
+    if recorder_factory is None:
+        from repro.exec.context import get_execution
+
+        ctx = get_execution()
+        executor = executor if executor is not None else ctx.executor
+        store = store if store is not None else ctx.store
+        if executor is not None or store is not None:
+            return _run_suite_planned(config, versions, workloads, executor, store)
     out: dict[str, dict[str, ExperimentResult]] = {}
     for w in workloads:
         per_version: dict[str, ExperimentResult] = {}
@@ -42,6 +70,27 @@ def run_suite(
             per_version[v] = result
         out[w.name] = per_version
     return out
+
+
+def _run_suite_planned(
+    config,
+    versions: Sequence[str],
+    workloads: list[Workload],
+    executor,
+    store,
+) -> dict[str, dict[str, ExperimentResult]]:
+    """The exec-layer path: plan, dedupe, store-first, fan out."""
+    from repro.exec.plan import SweepPlan, execute_plan
+
+    plan = SweepPlan()
+    keys = {
+        (w.name, v): plan.add(w, config, v) for w in workloads for v in versions
+    }
+    results = execute_plan(plan, executor=executor, store=store)
+    return {
+        w.name: {v: results[keys[(w.name, v)].digest] for v in versions}
+        for w in workloads
+    }
 
 
 def normalized_suite(

@@ -10,11 +10,14 @@ is the property to check; absolute values differ (synthetic workloads).
 from __future__ import annotations
 
 from repro.experiments.config import DEFAULT_CONFIG, SystemConfig
+from repro.experiments.harness import run_suite
 from repro.experiments.report import ExperimentReport
-from repro.simulator.runner import run_experiment
 from repro.workloads.suite import SUITE
 
-__all__ = ["run"]
+__all__ = ["run", "VERSIONS_USED"]
+
+#: The versions this table sweeps (consumed by ``repro.exec.plan_all``).
+VERSIONS_USED = ("original",)
 
 
 def run(config: SystemConfig | None = None) -> ExperimentReport:
@@ -30,8 +33,9 @@ def run(config: SystemConfig | None = None) -> ExperimentReport:
     ]
     rows = []
     deeper_is_worse = 0
+    results = run_suite(config, versions=VERSIONS_USED)
     for w in SUITE:
-        res = run_experiment(w, config, "original")
+        res = results[w.name]["original"]
         l1 = 100.0 * res.miss_rate("L1")
         l2 = 100.0 * res.miss_rate("L2")
         l3 = 100.0 * res.miss_rate("L3")

@@ -280,6 +280,7 @@ def simulate(
     # when one is active.
     reg = get_registry()
     if reg.enabled:
+        reg.counter("simulator.simulations").inc()
         for name, agg in level_stats.items():
             if agg is not None:
                 agg.publish(reg, level=name)

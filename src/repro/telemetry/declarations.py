@@ -28,6 +28,17 @@ PIPELINE_COUNTERS = (
     "cache.writebacks",
     "disk.reads",
     "disk.writes",
+    "simulator.simulations",
+    "exec.tasks.submitted",
+    "exec.tasks.completed",
+    "exec.tasks.retried",
+    "exec.tasks.failed",
+    "exec.store.hits",
+    "exec.store.misses",
+    "exec.store.writes",
+    "exec.store.corrupt",
+    "exec.store.invalidated",
+    "exec.store.evictions",
 )
 
 #: Histograms any full pipeline run may emit.

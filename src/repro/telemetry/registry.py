@@ -116,6 +116,24 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def merge_summary(
+        self, count: int, total: float, minimum: float, maximum: float
+    ) -> None:
+        """Fold another histogram's count/sum/min/max into this one.
+
+        Count/sum/min/max compose exactly under merging, which is what
+        lets process-pool workers ship their registry snapshots back to
+        the parent (:meth:`MetricsRegistry.merge_snapshot`).
+        """
+        if not count:
+            return
+        self.count += count
+        self.sum += total
+        if minimum < self.min:
+            self.min = minimum
+        if maximum > self.max:
+            self.max = maximum
+
     def as_dict(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
@@ -237,6 +255,32 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def merge_snapshot(self, snapshot: dict[str, list[dict[str, Any]]]) -> None:
+        """Fold an :meth:`as_dict` snapshot into this registry.
+
+        Counters and histogram summaries add; gauges take the
+        snapshot's value (last write wins — merge snapshots in a
+        deterministic order).  This is how per-task registries from
+        process-pool workers flow back into the run's registry, so a
+        parallel run's manifest carries the same counter values a
+        serial run would.
+        """
+        for entry in snapshot.get("counters", []):
+            # inc(0) still materialises the series: a zero-valued counter
+            # a serial run would declare must exist after a merge too.
+            self.counter(entry["name"], **entry.get("labels", {})).inc(
+                entry["value"]
+            )
+        for entry in snapshot.get("gauges", []):
+            self.gauge(entry["name"], **entry.get("labels", {})).set(entry["value"])
+        for entry in snapshot.get("histograms", []):
+            self.histogram(entry["name"], **entry.get("labels", {})).merge_summary(
+                entry.get("count", 0),
+                entry.get("sum", 0.0),
+                entry.get("min", float("inf")),
+                entry.get("max", float("-inf")),
+            )
 
     def as_dict(self) -> dict[str, list[dict[str, Any]]]:
         """JSON-safe dump of every instrument (manifest ``metrics`` section)."""

@@ -43,6 +43,7 @@ from repro.trace.replay import (
     TRACE_ARTIFACT_VERSION,
     TraceArtifact,
     config_fingerprint,
+    config_from_fingerprint,
     load_artifact,
     record,
     replay,
@@ -73,6 +74,7 @@ __all__ = [
     "TRACE_ARTIFACT_VERSION",
     "TraceArtifact",
     "config_fingerprint",
+    "config_from_fingerprint",
     "record",
     "save_artifact",
     "load_artifact",

@@ -36,6 +36,7 @@ __all__ = [
     "TRACE_ARTIFACT_VERSION",
     "TraceArtifact",
     "config_fingerprint",
+    "config_from_fingerprint",
     "record",
     "save_artifact",
     "load_artifact",
@@ -113,10 +114,20 @@ def record(
 def config_fingerprint(config: SystemConfig) -> dict:
     """A JSON-safe fingerprint of a config.
 
-    The canonical serialisation shared by trace artifacts and telemetry
-    run manifests, so the two artifact families stay comparable.
+    The canonical serialisation shared by trace artifacts, telemetry
+    run manifests and the :mod:`repro.exec` experiment keys, so the
+    artifact families stay comparable.
     """
     return _config_to_dict(config)
+
+
+def config_from_fingerprint(d: dict) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_fingerprint` output.
+
+    The inverse serialisation: process-pool workers ship configs across
+    process boundaries as fingerprints and reconstitute them here.
+    """
+    return _config_from_dict(d)
 
 
 def _config_to_dict(config: SystemConfig) -> dict:

@@ -1,0 +1,97 @@
+"""Tests for the canonical experiment keys."""
+
+import pytest
+
+from repro.exec.keys import KEY_SCHEMA_VERSION, ExperimentKey, experiment_key
+from repro.experiments.config import scaled_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_config(16)
+
+
+class TestStability:
+    def test_same_inputs_same_digest(self, config):
+        a = experiment_key("hf", config, "inter")
+        b = experiment_key("hf", config, "inter")
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_digest_is_hex_sha256(self, config):
+        digest = experiment_key("hf", config, "inter").digest
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    def test_engine_order_insensitive(self, config):
+        a = experiment_key("hf", config, "inter", {"a": 1, "b": 2})
+        b = experiment_key("hf", config, "inter", {"b": 2, "a": 1})
+        assert a.digest == b.digest
+
+    def test_empty_engine_is_default(self, config):
+        assert (
+            experiment_key("hf", config, "inter", {}).digest
+            == experiment_key("hf", config, "inter").digest
+        )
+
+
+class TestSensitivity:
+    def test_workload_changes_digest(self, config):
+        assert (
+            experiment_key("hf", config, "inter").digest
+            != experiment_key("sar", config, "inter").digest
+        )
+
+    def test_version_changes_digest(self, config):
+        assert (
+            experiment_key("hf", config, "inter").digest
+            != experiment_key("hf", config, "original").digest
+        )
+
+    def test_config_changes_digest(self, config):
+        other = config.with_chunk_elems(config.chunk_elems * 2)
+        assert (
+            experiment_key("hf", config, "inter").digest
+            != experiment_key("hf", other, "inter").digest
+        )
+
+    def test_seed_changes_digest(self, config):
+        import dataclasses
+
+        reseeded = dataclasses.replace(config, seed=config.seed + 1)
+        assert (
+            experiment_key("hf", config, "inter").digest
+            != experiment_key("hf", reseeded, "inter").digest
+        )
+
+    def test_engine_changes_digest(self, config):
+        assert (
+            experiment_key("hf", config, "inter").digest
+            != experiment_key("hf", config, "inter", {"x": 1}).digest
+        )
+
+    def test_schema_version_changes_digest(self, config):
+        key = experiment_key("hf", config, "inter")
+        bumped = ExperimentKey(
+            workload=key.workload,
+            version=key.version,
+            config_json=key.config_json,
+            engine_json=key.engine_json,
+            schema_version=KEY_SCHEMA_VERSION + 1,
+        )
+        assert bumped.digest != key.digest
+
+
+class TestAccessors:
+    def test_seed_property(self, config):
+        assert experiment_key("hf", config, "inter").seed == config.seed
+
+    def test_dict_round_trip(self, config):
+        key = experiment_key("hf", config, "inter", {"sync_counts": {"0": 3}})
+        back = ExperimentKey.from_dict(key.as_dict())
+        assert back == key
+        assert back.digest == key.digest
+
+    def test_as_dict_carries_digest(self, config):
+        key = experiment_key("hf", config, "inter")
+        assert key.as_dict()["digest"] == key.digest

@@ -1,0 +1,160 @@
+"""Tests for sweep planning, store-first execution and determinism."""
+
+import pytest
+
+from repro.exec import (
+    ExperimentExecutor,
+    MemoryStore,
+    SweepPlan,
+    cached_report,
+    execute_plan,
+    plan_all,
+    use_execution,
+)
+from repro.experiments.config import scaled_config
+from repro.experiments.harness import run_suite
+from repro.experiments.report import ExperimentReport
+from repro.simulator.serialization import result_to_dict
+from repro.telemetry import MetricsRegistry, use_registry
+from repro.workloads.suite import get_workload
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_config(16)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return [get_workload("hf"), get_workload("sar")]
+
+
+class TestSweepPlan:
+    def test_dedup_by_key(self, config, workloads):
+        plan = SweepPlan()
+        k1 = plan.add("hf", config, "inter")
+        k2 = plan.add("hf", config, "inter")
+        assert k1 == k2
+        assert len(plan) == 1
+        assert plan.duplicates == 1
+
+    def test_add_suite(self, config, workloads):
+        plan = SweepPlan()
+        plan.add_suite(config, ("original", "inter"), workloads)
+        assert len(plan) == 4
+        plan.add_suite(config, ("original",), workloads)  # all duplicates
+        assert len(plan) == 4
+        assert plan.duplicates == 2
+
+    def test_plan_all_dedupes_shared_points(self, config):
+        """Figure 10/11 share triples; the sweeps share the default point."""
+        plan = plan_all(config)
+        assert len(plan) > 0
+        assert plan.duplicates > 0
+        digests = [t.key.digest for t in plan]
+        assert len(digests) == len(set(digests))
+
+
+class TestExecutePlan:
+    def test_store_first(self, config, workloads):
+        plan = SweepPlan()
+        plan.add_suite(config, ("original",), workloads)
+        store = MemoryStore()
+        first = execute_plan(plan, store=store)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            second = execute_plan(plan, store=store)
+        # Warm pass: everything from the store, nothing simulated.
+        assert registry.counter("simulator.simulations").value == 0
+        assert registry.counter("exec.store.hits").value == len(plan)
+        assert {d: result_to_dict(r) for d, r in first.items()} == {
+            d: result_to_dict(r) for d, r in second.items()
+        }
+
+    def test_results_keyed_by_digest(self, config, workloads):
+        plan = SweepPlan()
+        keys = [plan.add(w, config, "original") for w in workloads]
+        results = execute_plan(plan)
+        assert set(results) == {k.digest for k in keys}
+        for w, key in zip(workloads, keys):
+            assert results[key.digest].workload == w.name
+
+
+class TestHarnessIntegration:
+    def test_run_suite_unchanged_without_context(self, config, workloads):
+        results = run_suite(config, versions=("original",), workloads=workloads)
+        assert set(results) == {w.name for w in workloads}
+
+    def test_run_suite_uses_store(self, config, workloads):
+        store = MemoryStore()
+        registry = MetricsRegistry()
+        with use_execution(store=store):
+            run_suite(config, versions=("original",), workloads=workloads)
+            with use_registry(registry):
+                run_suite(config, versions=("original",), workloads=workloads)
+        assert registry.counter("simulator.simulations").value == 0
+
+
+def _counter_values(registry: MetricsRegistry) -> dict:
+    """Deterministic counters only: drop the exec-traffic ones, which
+    legitimately differ between a plain serial run and a pooled one."""
+    return {
+        (e["name"], tuple(sorted(e["labels"].items()))): e["value"]
+        for e in registry.as_dict()["counters"]
+        if not e["name"].startswith("exec.")
+    }
+
+
+class TestDeterminism:
+    def test_workers_match_serial_bit_for_bit(self, config, workloads):
+        """--workers 4 must reproduce serial results and metric values
+        exactly: seeds derive from the key, never from pool order."""
+        versions = ("original", "inter+sched")
+        reg_serial = MetricsRegistry()
+        with use_registry(reg_serial):
+            serial = run_suite(config, versions=versions, workloads=workloads)
+        reg_pool = MetricsRegistry()
+        with use_registry(reg_pool):
+            with use_execution(
+                executor=ExperimentExecutor(workers=4), store=MemoryStore()
+            ):
+                pooled = run_suite(
+                    config, versions=versions, workloads=workloads
+                )
+        for w in serial:
+            for v in versions:
+                a = result_to_dict(serial[w][v])
+                b = result_to_dict(pooled[w][v])
+                a.pop("mapping_time_s")  # wall-clock, not data
+                b.pop("mapping_time_s")
+                assert a == b, f"{w}/{v} diverged under workers=4"
+        assert _counter_values(reg_serial) == _counter_values(reg_pool)
+
+
+class TestCachedReport:
+    def test_without_store_builds_every_time(self, config):
+        calls = []
+
+        def build(cfg):
+            calls.append(cfg)
+            return ExperimentReport("t", "t", ["c"], [["v"]], summary={"b": 2.0, "a": 1.0})
+
+        cached_report("t", config, build, store=None)
+        cached_report("t", config, build, store=None)
+        assert len(calls) == 2
+
+    def test_store_round_trip_and_canonical_order(self, config):
+        calls = []
+
+        def build(cfg):
+            calls.append(cfg)
+            return ExperimentReport("t", "t", ["c"], [["v"]], summary={"b": 2.0, "a": 1.0})
+
+        store = MemoryStore()
+        fresh = cached_report("t", config, build, store=store)
+        warm = cached_report("t", config, build, store=store)
+        assert len(calls) == 1
+        # Cache temperature must not change the rendered report — the
+        # fresh copy is round-tripped (summary canonically sorted) too.
+        assert fresh.render() == warm.render()
+        assert list(fresh.summary) == ["a", "b"]

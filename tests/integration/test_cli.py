@@ -374,3 +374,74 @@ class TestLoggingFlags:
         assert main(["table2", "--scale", "16", "--log-level", "error"]) == 0
         err = capsys.readouterr().err
         assert "s]" not in err
+
+
+class TestExecFlags:
+    def test_workers_flag_matches_serial_output(self, capsys):
+        assert main(["table2", "--scale", "16"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table2", "--scale", "16", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_flag_warm_run_simulates_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        cold = str(tmp_path / "cold.json")
+        warm = str(tmp_path / "warm.json")
+        args = ["table2", "--scale", "16", "--cache", cache]
+        assert main(args + ["--telemetry", cold]) == 0
+        assert main(args + ["--telemetry", warm]) == 0
+        capsys.readouterr()
+
+        def counters(path):
+            doc = json.loads(open(path).read())
+            return {
+                e["name"]: e["value"]
+                for e in doc["metrics"]["counters"]
+                if not e["labels"]
+            }
+
+        assert counters(cold)["simulator.simulations"] > 0
+        assert counters(warm)["simulator.simulations"] == 0
+        assert counters(warm)["exec.store.hits"] > 0
+        assert counters(warm)["exec.store.misses"] == 0
+
+    def test_manifest_records_store_state(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        manifest = str(tmp_path / "run.json")
+        assert main(
+            ["table2", "--scale", "16", "--cache", cache, "--telemetry", manifest]
+        ) == 0
+        doc = json.loads(open(manifest).read())
+        store = doc["meta"]["result_store"]
+        assert store["entries"] == store["writes"] > 0
+
+
+class TestCacheCommands:
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["table2", "--scale", "16", "--cache", cache]) == 0
+        return cache
+
+    def test_stats(self, populated, capsys):
+        assert main(["cache", "stats", "--cache", populated]) == 0
+        out = capsys.readouterr().out
+        assert "Result store" in out
+        assert "entries" in out
+
+    def test_gc_to_budget(self, populated, capsys):
+        assert main(
+            ["cache", "gc", "--cache", populated, "--max-bytes", "1"]
+        ) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", populated]) == 0
+        # Everything was over the 1-byte budget.
+        assert "entries    0" in capsys.readouterr().out
+
+    def test_clear(self, populated, capsys):
+        assert main(["cache", "clear", "--cache", populated]) == 0
+        assert "cleared" in capsys.readouterr().out
+
+    def test_action_required(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])

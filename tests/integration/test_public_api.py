@@ -42,6 +42,8 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.experiments",
     "repro.trace",
+    "repro.telemetry",
+    "repro.exec",
 ]
 
 
