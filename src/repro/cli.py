@@ -12,6 +12,8 @@ and drives the trace and telemetry subsystems:
    $ repro cache stats
    $ repro cache gc --max-bytes 50000000
    $ repro suite           # raw per-(workload, version) metrics
+   $ repro serve --port 8080 --workers 4 --cache ~/.cache/repro
+   $ repro request --url http://127.0.0.1:8080 --workload hf --scale 4
    $ repro table2 --scale 16 --telemetry run.json
    $ repro metrics show run.json
    $ repro metrics export run.json -o run.prom
@@ -90,7 +92,8 @@ def _invoke(args: argparse.Namespace) -> int:
     """
     workers = getattr(args, "workers", 0)
     cache = getattr(args, "cache", "")
-    if not workers and not cache:
+    if args.command == "serve" or (not workers and not cache):
+        # serve owns its executor/store wiring (they outlive one call).
         return args.func(args)
     from repro.exec import (
         ExperimentExecutor,
@@ -195,6 +198,66 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 ]
             )
     print(format_table(headers, rows, title="Suite: raw metrics"))
+    return 0
+
+
+# -- serve commands -----------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exec import ExperimentExecutor, MemoryStore, ResultStore
+    from repro.serve import MappingServer
+    from repro.telemetry import MetricsRegistry, declare_pipeline_metrics
+
+    executor = (
+        ExperimentExecutor(workers=args.workers) if args.workers > 1 else None
+    )
+    # Always attach a store: without one, a warm key would re-simulate
+    # the moment its in-flight window closes.
+    store = ResultStore(args.cache) if args.cache else MemoryStore()
+    registry = MetricsRegistry()
+    declare_pipeline_metrics(registry)
+    server = MappingServer(
+        host=args.host,
+        port=args.port,
+        executor=executor,
+        store=store,
+        registry=registry,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_wait_ms=args.batch_wait_ms,
+        request_timeout_s=args.request_timeout,
+        default_scale=args.scale,
+    )
+    return server.serve_forever()
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        resp = client.experiment(args.workload, args.mapper, scale=args.scale)
+    except ServeError as exc:
+        return _fail(f"{args.url}: {exc}")
+    except OSError as exc:
+        return _fail(f"{args.url}: {exc}")
+    finally:
+        client.close()
+    if args.json:
+        print(json_mod.dumps(resp.doc, indent=2, sort_keys=True))
+        return 0
+    from repro.simulator.serialization import result_from_dict
+
+    result = result_from_dict(resp.result)
+    _print_sim_summary(
+        result.sim,
+        f"{args.workload}/{args.mapper} via {args.url} "
+        f"({resp.source or 'unknown'}, batch={resp.batch_size})",
+    )
+    print(f"  digest: {resp.digest[:12]}")
     return 0
 
 
@@ -630,6 +693,68 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_suite)
 
+    p = sub.add_parser(
+        "serve",
+        parents=[log_parent, scale_parent, exec_parent],
+        help="long-lived mapping service (HTTP, coalescing, backpressure)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admitted experiment requests before 429 backpressure (default: 64)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="micro-batch size fed to the backend executor (default: 8)",
+    )
+    p.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="max wait to fill a micro-batch (default: 5 ms)",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="per-request timeout in seconds (default: 300)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "request",
+        parents=[log_parent, scale_parent],
+        help="send one experiment request to a running mapping service",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="service base URL"
+    )
+    p.add_argument("--workload", default="hf", help="suite workload (default: hf)")
+    p.add_argument(
+        "--mapper",
+        default="inter+sched",
+        choices=VERSIONS,
+        help="mapping version to request (default: inter+sched)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=600.0, help="client timeout in seconds"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the raw response document"
+    )
+    p.set_defaults(func=_cmd_request)
+
     cache = sub.add_parser(
         "cache", help="inspect and maintain the on-disk result store"
     )
@@ -654,13 +779,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p = csub.add_parser(
         "gc",
         parents=[log_parent, cache_parent],
-        help="evict oldest entries down to a byte budget",
+        help="evict least-recently-used entries down to a byte budget",
     )
     p.add_argument(
         "--max-bytes",
         type=int,
         required=True,
-        help="evict oldest-written entries until the store fits this size",
+        help="evict least-recently-used entries until the store fits this size",
     )
     p.set_defaults(func=_cmd_cache_gc)
 

@@ -37,7 +37,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any
 
-from repro.telemetry import MetricsRegistry, get_registry, use_registry
+from repro.telemetry import MetricsRegistry, get_registry, thread_registry
 from repro.util.log import get_logger
 
 __all__ = [
@@ -94,8 +94,11 @@ def run_payload(payload: dict[str, Any]) -> dict[str, Any]:
         sync_counts = {int(c): int(n) for c, n in sync_counts.items()}
     metrics = None
     if payload.get("collect_metrics"):
+        # Thread-scoped, not process-global: in-process retries and the
+        # serve backend run payloads from worker threads, and a private
+        # collection registry must not shadow what other threads see.
         registry = MetricsRegistry()
-        with use_registry(registry):
+        with thread_registry(registry):
             result = run_experiment(
                 workload, config, payload["version"], sync_counts=sync_counts
             )
@@ -180,7 +183,7 @@ class ExperimentExecutor:
         last: BaseException = first_error
         for attempt in range(self.retries):
             time.sleep(self.backoff_s * (2**attempt))
-            reg.counter("exec.tasks.retried").inc()
+            reg.counter("exec.retries").inc()
             try:
                 return run_payload(payload)
             except Exception as exc:  # noqa: BLE001 - preserved as cause
@@ -215,6 +218,7 @@ class ExperimentExecutor:
                     reg.counter("exec.tasks.completed").inc()
                 except FutureTimeoutError as exc:
                     timed_out = True
+                    reg.counter("exec.timeouts").inc()
                     fut.cancel()
                     _LOG.warning(
                         "task %s/%s timed out after %.1fs; retrying in-process",

@@ -15,9 +15,12 @@ self-describing JSON document carrying a schema version, the full key
 * **schema versioning** — entries written under a different
   ``RESULT_STORE_SCHEMA_VERSION`` are invalidated on load, never
   misread;
-* **gc / size cap** — :meth:`ResultStore.gc` evicts oldest-written
+* **gc / size cap** — :meth:`ResultStore.gc` evicts least-recently-used
   entries until the store fits a byte budget (enforced automatically
-  after writes when ``size_cap_bytes`` is set).
+  after writes when ``size_cap_bytes`` is set); reads refresh an
+  entry's mtime, so a key that keeps hitting — e.g. the default-config
+  point every sensitivity sweep revisits, or a hot serve request —
+  outlives cold ones instead of aging out in FIFO write order.
 
 Two payload kinds share the machinery: simulation **results**
 (serialised :class:`~repro.simulator.metrics.ExperimentResult`) and
@@ -108,6 +111,8 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Read hits that refreshed an entry's mtime (LRU recency touches).
+    touches: int = 0
     corrupt_dropped: int = 0
     invalidated: int = 0
     evicted: int = 0
@@ -121,6 +126,7 @@ class StoreStats:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "touches": self.touches,
             "corrupt_dropped": self.corrupt_dropped,
             "invalidated": self.invalidated,
             "evicted": self.evicted,
@@ -164,6 +170,7 @@ class ResultStore:
             "hits": "exec.store.hits",
             "misses": "exec.store.misses",
             "writes": "exec.store.writes",
+            "touches": "exec.store.touches",
             "corrupt_dropped": "exec.store.corrupt",
             "invalidated": "exec.store.invalidated",
             "evicted": "exec.store.evictions",
@@ -219,6 +226,14 @@ class ResultStore:
             self._count("misses")
             return None
         self._count("hits")
+        # Refresh the entry's recency so gc evicts least-recently-*used*
+        # entries, not oldest-written ones; best-effort (a concurrent gc
+        # may have unlinked the path since we read it).
+        try:
+            os.utime(path)
+            self._count("touches")
+        except OSError:
+            pass
         return payload
 
     def get(self, key: ExperimentKey) -> ExperimentResult | None:
@@ -286,10 +301,12 @@ class ResultStore:
     # -- maintenance --------------------------------------------------------------
 
     def gc(self, max_bytes: int | None = None) -> int:
-        """Evict oldest-written entries until the store fits ``max_bytes``.
+        """Evict least-recently-used entries until the store fits ``max_bytes``.
 
-        Defaults to the store's ``size_cap_bytes``; a no-op when neither
-        is set.  Returns the number of entries evicted.
+        Recency is the entry's mtime, which reads refresh — so eviction
+        order is LRU, falling back to write order for never-read
+        entries.  Defaults to the store's ``size_cap_bytes``; a no-op
+        when neither is set.  Returns the number of entries evicted.
         """
         cap = self.size_cap_bytes if max_bytes is None else max_bytes
         if cap is None:

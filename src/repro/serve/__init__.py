@@ -1,0 +1,75 @@
+"""repro.serve — async mapping-as-a-service over the exec runtime.
+
+The serving layer the ROADMAP's "heavy traffic" north star asks for:
+a long-lived, stdlib-only asyncio HTTP service that accepts JSON
+mapping/experiment requests and answers them through the
+:mod:`repro.exec` backend — the compiler-directed mapping moved to
+run time, the shape *Cache-Conscious Run-time Decomposition of Data
+Parallel Computations* argues for.
+
+* :mod:`~repro.serve.protocol` — versioned request/response/error
+  documents sharing the exec config serialisation; byte-deterministic
+  response bodies (per-request facts ride HTTP headers);
+* :mod:`~repro.serve.coalesce` — in-flight deduplication keyed on
+  :class:`~repro.exec.keys.ExperimentKey` plus micro-batching
+  (max-batch / max-wait) into the process-pool executor, store-first so
+  warm keys never simulate;
+* :mod:`~repro.serve.server` — bounded admission with explicit 429 +
+  ``Retry-After`` backpressure, per-request timeouts, graceful
+  SIGINT/SIGTERM drain, and ``/healthz`` ``/statusz`` ``/metrics``;
+* :mod:`~repro.serve.client` — sync + async clients (CLI, tests,
+  benchmarks, CI smoke).
+
+Typical wiring (what ``repro serve --workers 4 --cache DIR`` does)::
+
+    from repro.exec import ExperimentExecutor, ResultStore
+    from repro.serve import MappingServer
+
+    server = MappingServer(
+        port=8080,
+        executor=ExperimentExecutor(workers=4),
+        store=ResultStore("serve-cache"),
+        registry=MetricsRegistry(),
+    )
+    raise SystemExit(server.serve_forever())   # exits 0 after a drain
+"""
+
+from repro.serve.client import (
+    AsyncServeClient,
+    ServeClient,
+    ServeError,
+    ServeResponse,
+)
+from repro.serve.coalesce import Coalescer, Submitted
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    PROTOCOL_VERSION,
+    MappingRequest,
+    ProtocolError,
+    encode_doc,
+    error_doc,
+    parse_request,
+    request_doc,
+    response_doc,
+)
+from repro.serve.server import SERVE_COUNTERS, MappingServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_STATUS",
+    "ProtocolError",
+    "MappingRequest",
+    "parse_request",
+    "request_doc",
+    "response_doc",
+    "error_doc",
+    "encode_doc",
+    "Coalescer",
+    "Submitted",
+    "MappingServer",
+    "SERVE_COUNTERS",
+    "ServeClient",
+    "AsyncServeClient",
+    "ServeError",
+    "ServeResponse",
+]

@@ -1,0 +1,266 @@
+"""Sync and async clients for the mapping service.
+
+Stdlib-only: the sync :class:`ServeClient` rides :mod:`http.client`
+(keep-alive per connection, safe to use one instance per thread), the
+:class:`AsyncServeClient` speaks the same minimal HTTP/1.1 over asyncio
+streams.  Both return :class:`ServeResponse` — the decoded response
+document plus the per-request headers the server keeps *out* of the
+body (source, batch size, digest) — and raise :class:`ServeError`
+carrying the service's typed error code for non-2xx answers.
+
+Used by the ``repro request`` CLI, the serve tests, the CI smoke job
+and ``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.serve.protocol import (
+    ERROR_RECORD,
+    encode_doc,
+    request_doc,
+)
+
+__all__ = ["ServeError", "ServeResponse", "ServeClient", "AsyncServeClient"]
+
+
+class ServeError(Exception):
+    """A typed error answer (or transport-level failure) from the service."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        http_status: int = 0,
+        retry_after_s: float | None = None,
+    ):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.http_status = http_status
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One successful answer: body document + serving metadata."""
+
+    doc: dict[str, Any]
+    status: int
+    #: Raw response body — what byte-identity assertions compare.
+    body: bytes
+    #: "simulated" | "coalesced" | "cache" (X-Repro-Source header).
+    source: str = ""
+    batch_size: int = 0
+    digest: str = ""
+
+    @property
+    def result(self) -> dict[str, Any]:
+        return self.doc.get("result", {})
+
+
+def _raise_for_error(status: int, body: bytes, headers: Mapping[str, str]):
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        doc = {}
+    if isinstance(doc, dict) and doc.get("record") == ERROR_RECORD:
+        err = doc.get("error", {})
+        retry = doc.get("retry_after_s")
+        raise ServeError(
+            err.get("code", "internal"),
+            err.get("message", "unknown error"),
+            http_status=status,
+            retry_after_s=retry,
+        )
+    raise ServeError(
+        "internal", f"HTTP {status}: {body[:200]!r}", http_status=status
+    )
+
+
+def _build_response(
+    status: int, body: bytes, headers: Mapping[str, str]
+) -> ServeResponse:
+    if status >= 400:
+        _raise_for_error(status, body, headers)
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServeError("internal", f"undecodable response body: {exc}") from None
+    return ServeResponse(
+        doc=doc,
+        status=status,
+        body=body,
+        source=headers.get("x-repro-source", ""),
+        batch_size=int(headers.get("x-repro-batch-size") or 0),
+        digest=headers.get("x-repro-digest", ""),
+    )
+
+
+def _split_url(url: str) -> tuple[str, int]:
+    parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+    if parsed.scheme not in ("", "http"):
+        raise ValueError(f"only http:// urls are supported, got {url!r}")
+    return parsed.hostname or "127.0.0.1", parsed.port or 80
+
+
+class ServeClient:
+    """Blocking client over one keep-alive connection.
+
+    Not thread-safe (http.client connections aren't); give each load-
+    generator thread its own instance.
+    """
+
+    def __init__(self, url: str, timeout: float = 600.0):
+        self.host, self.port = _split_url(url)
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes, dict[str, str]]:
+        conn = self._connection()
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            payload = resp.read()
+        except (http.client.HTTPException, OSError):
+            # A dropped keep-alive connection (server drained between
+            # requests): retry once on a fresh connection.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            payload = resp.read()
+        return (
+            resp.status,
+            payload,
+            {k.lower(): v for k, v in resp.getheaders()},
+        )
+
+    def experiment(
+        self,
+        workload: str,
+        version: str,
+        scale: int = 0,
+        config: Mapping[str, Any] | None = None,
+        engine: Mapping[str, Any] | None = None,
+    ) -> ServeResponse:
+        body = encode_doc(request_doc(workload, version, scale, config, engine))
+        return _build_response(*self._request("POST", "/v1/experiment", body))
+
+    def health(self) -> dict[str, Any]:
+        status, body, _ = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServeError("internal", f"healthz returned {status}", status)
+        return json.loads(body)
+
+    def statusz(self) -> dict[str, Any]:
+        status, body, headers = self._request("GET", "/statusz")
+        if status >= 400:
+            _raise_for_error(status, body, headers)
+        return json.loads(body)
+
+    def metrics_text(self) -> str:
+        status, body, headers = self._request("GET", "/metrics")
+        if status >= 400:
+            _raise_for_error(status, body, headers)
+        return body.decode("utf-8")
+
+
+class AsyncServeClient:
+    """Asyncio client: one request per call over a fresh connection.
+
+    Deliberately connectionless between calls — the async user is the
+    coalescing/backpressure *test* surface, where per-request connection
+    state would mask admission behaviour.
+    """
+
+    def __init__(self, url: str, timeout: float = 600.0):
+        self.host, self.port = _split_url(url)
+        self.timeout = timeout
+
+    async def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes, dict[str, str]]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            payload = body or b""
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        header_blob, _, rest = raw.partition(b"\r\n\r\n")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        try:
+            status = int(lines[0].split()[1])
+        except (IndexError, ValueError):
+            raise ServeError("internal", f"malformed response: {lines[:1]}") from None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or len(rest))
+        return status, rest[:length], headers
+
+    async def experiment(
+        self,
+        workload: str,
+        version: str,
+        scale: int = 0,
+        config: Mapping[str, Any] | None = None,
+        engine: Mapping[str, Any] | None = None,
+    ) -> ServeResponse:
+        body = encode_doc(request_doc(workload, version, scale, config, engine))
+        return _build_response(
+            *await self._request("POST", "/v1/experiment", body)
+        )
+
+    async def statusz(self) -> dict[str, Any]:
+        status, body, headers = await self._request("GET", "/statusz")
+        if status >= 400:
+            _raise_for_error(status, body, headers)
+        return json.loads(body)
+
+    async def health(self) -> dict[str, Any]:
+        status, body, _ = await self._request("GET", "/healthz")
+        if status != 200:
+            raise ServeError("internal", f"healthz returned {status}", status)
+        return json.loads(body)

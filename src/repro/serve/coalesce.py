@@ -1,0 +1,210 @@
+"""Request coalescing and micro-batching in front of the exec backend.
+
+The serving analogue of :func:`repro.exec.plan.execute_plan`: requests
+for the *same* :class:`~repro.exec.keys.ExperimentKey` collapse onto
+one in-flight computation (every waiter gets the same response
+document), distinct keys accumulate into micro-batches (up to
+``max_batch`` tasks or ``max_wait_ms``, whichever first) that fan out
+through one blocking :meth:`run_payloads` call on the backend executor,
+and the store is consulted **before** anything is enqueued — a warm key
+never simulates, never batches, never waits.
+
+Threading model: all coalescer state (in-flight map, pending queue)
+lives on the event loop; only the backend call itself runs in a worker
+thread via ``run_in_executor``, so there is exactly one batch executing
+at a time and no locks anywhere.  Store reads/writes are small JSON
+files and stay on the loop deliberately — moving them off-loop would
+reorder them against the in-flight map and reopen the duplicate-
+simulation race this module exists to close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exec.executor import SerialExecutor, task_payload
+from repro.exec.plan import ExperimentTask
+from repro.simulator.serialization import result_from_dict, result_to_dict
+from repro.telemetry import get_registry
+from repro.util.log import get_logger
+
+__all__ = ["Submitted", "Coalescer"]
+
+_LOG = get_logger("serve.coalesce")
+
+
+@dataclass(frozen=True)
+class Submitted:
+    """One request's outcome: the response payload plus how it was met."""
+
+    result: dict[str, Any]
+    #: Served from the result store without touching the backend.
+    cached: bool = False
+    #: Collapsed onto another request already in flight for the same key.
+    coalesced: bool = False
+    #: Size of the batch this request's simulation ran in (0 if no run).
+    batch_size: int = 0
+
+
+class Coalescer:
+    """Deduplicate, batch and execute experiment tasks for the server.
+
+    ``executor`` is any object with the exec layer's ``run_payloads``
+    interface (defaults to :class:`~repro.exec.executor.SerialExecutor`);
+    ``store`` is an optional Result/MemoryStore consulted first and
+    written back after every simulation.
+    """
+
+    def __init__(
+        self,
+        executor=None,
+        store=None,
+        max_batch: int = 8,
+        max_wait_ms: float = 5.0,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.store = store
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1000.0
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: asyncio.Queue[tuple[ExperimentTask, asyncio.Future]] = (
+            asyncio.Queue()
+        )
+        self._batcher: asyncio.Task | None = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the batching loop (idempotent; needs a running loop)."""
+        if self._batcher is None or self._batcher.done():
+            self._batcher = asyncio.get_running_loop().create_task(
+                self._run_batches(), name="serve-coalescer"
+            )
+
+    async def close(self) -> None:
+        """Drain every pending/in-flight task, then stop the batcher."""
+        await self.drain()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._batcher
+            self._batcher = None
+
+    async def drain(self) -> None:
+        """Wait until no task is pending or executing."""
+        while self._inflight or not self._queue.empty():
+            await asyncio.sleep(0.005)
+
+    @property
+    def inflight(self) -> int:
+        """Keys currently pending or executing (coalesce targets)."""
+        return len(self._inflight)
+
+    # -- submission ---------------------------------------------------------------
+
+    async def submit(self, task: ExperimentTask) -> Submitted:
+        """Resolve one task: coalesce, store hit, or batch + simulate.
+
+        Raises whatever the backend raised (e.g.
+        :class:`~repro.exec.executor.TaskError`) after retries are
+        exhausted; the server maps that to a typed ``internal`` error.
+        """
+        reg = get_registry()
+        digest = task.key.digest
+        fut = self._inflight.get(digest)
+        if fut is not None:
+            reg.counter("serve.coalesced").inc()
+            # shield: a waiter timing out must not cancel the shared
+            # computation other waiters (and the store) depend on.
+            doc, batch_size = await asyncio.shield(fut)
+            return Submitted(doc, coalesced=True, batch_size=batch_size)
+        if self.store is not None:
+            cached = self.store.get(task.key)
+            if cached is not None:
+                return Submitted(result_to_dict(cached), cached=True)
+        self.start()
+        fut = asyncio.get_running_loop().create_future()
+        self._inflight[digest] = fut
+        await self._queue.put((task, fut))
+        doc, batch_size = await asyncio.shield(fut)
+        return Submitted(doc, batch_size=batch_size)
+
+    # -- batching -----------------------------------------------------------------
+
+    async def _collect_batch(self) -> list[tuple[ExperimentTask, asyncio.Future]]:
+        """One batch: first waiter, then up to max_batch/max_wait more."""
+        batch = [await self._queue.get()]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_wait_s
+        while len(batch) < self.max_batch:
+            timeout = deadline - loop.time()
+            if timeout <= 0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), timeout)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _run_batches(self) -> None:
+        loop = asyncio.get_running_loop()
+        reg = get_registry()
+        while True:
+            batch = await self._collect_batch()
+            tasks = [t for t, _ in batch]
+            reg.counter("serve.batches").inc()
+            reg.histogram("serve.batch_size").observe(len(batch))
+            start = time.perf_counter()
+            try:
+                docs = await loop.run_in_executor(None, self._execute, tasks)
+            except Exception as exc:  # noqa: BLE001 - fanned back to waiters
+                _LOG.warning("batch of %d failed: %s", len(batch), exc)
+                for _, fut in batch:
+                    if not fut.done():
+                        fut.set_exception(exc)
+            else:
+                for (_, fut), doc in zip(batch, docs):
+                    if not fut.done():
+                        fut.set_result((doc, len(batch)))
+            finally:
+                reg.histogram("serve.batch_seconds").observe(
+                    time.perf_counter() - start
+                )
+                for t, _ in batch:
+                    self._inflight.pop(t.key.digest, None)
+
+    def _execute(self, tasks: list[ExperimentTask]) -> list[dict[str, Any]]:
+        """Blocking backend call; runs in a worker thread.
+
+        The same shape as :func:`~repro.exec.plan.execute_plan`'s miss
+        path: payloads through the executor, worker metrics merged,
+        results written back to the store — and every result passes the
+        ``result_to_dict`` round-trip, so responses are identical
+        whether they came from a simulation or a later store hit.
+        """
+        reg = get_registry()
+        collect = reg.enabled
+        payloads = [
+            task_payload(t.workload, t.config, t.version, t.engine_dict(), collect)
+            for t in tasks
+        ]
+        outs = self.executor.run_payloads(payloads)
+        docs = []
+        for t, out in zip(tasks, outs):
+            if collect and out.get("metrics"):
+                reg.merge_snapshot(out["metrics"])
+            result = result_from_dict(out["result"])
+            if self.store is not None:
+                self.store.put(t.key, result)
+            docs.append(result_to_dict(result))
+        return docs

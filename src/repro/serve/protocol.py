@@ -1,0 +1,250 @@
+"""Versioned wire schemas for the mapping service.
+
+One request kind covers the service's job: *run (or fetch) one
+experiment* — a (workload, config, version) triple plus engine options,
+exactly the identity :class:`~repro.exec.keys.ExperimentKey` hashes.
+The config travels as the same ``config_fingerprint`` serialisation the
+trace artifacts, run manifests and result-store keys already share, so
+a request names precisely the cache entry it would hit; ``scale`` is
+the CLI's ``--scale`` shorthand for a scaled default config.
+
+Documents are self-describing (``record`` + ``protocol_version``), and
+responses carry **no per-request fields** (no timings, no cache/
+coalesce flags — those travel as HTTP headers): identical requests get
+byte-identical bodies whether they simulated, coalesced onto another
+request in flight, or hit the store.  Errors are typed documents with a
+stable machine-readable ``code`` drawn from :data:`ERROR_STATUS`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exec.keys import ExperimentKey, experiment_key
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "REQUEST_RECORD",
+    "RESPONSE_RECORD",
+    "ERROR_RECORD",
+    "ERROR_STATUS",
+    "ProtocolError",
+    "MappingRequest",
+    "parse_request",
+    "request_doc",
+    "response_doc",
+    "error_doc",
+    "encode_doc",
+]
+
+#: Bump when the request/response layout changes; servers reject newer.
+PROTOCOL_VERSION = 1
+
+REQUEST_RECORD = "repro-serve-request"
+RESPONSE_RECORD = "repro-serve-response"
+ERROR_RECORD = "repro-serve-error"
+
+#: Typed error codes and the HTTP status each maps to.
+ERROR_STATUS = {
+    "bad_json": 400,
+    "bad_request": 400,
+    "unsupported_protocol": 400,
+    "unknown_workload": 400,
+    "unknown_version": 400,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "payload_too_large": 413,
+    "overloaded": 429,
+    "internal": 500,
+    "draining": 503,
+    "timeout": 504,
+}
+
+
+class ProtocolError(Exception):
+    """A request the service rejects, with a typed code.
+
+    ``code`` must be a key of :data:`ERROR_STATUS`; ``http_status``
+    derives from it.  ``retry_after_s`` is set for retryable rejections
+    (overload, drain) and surfaces as the ``Retry-After`` header.
+    """
+
+    def __init__(self, code: str, message: str, retry_after_s: float | None = None):
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.http_status = ERROR_STATUS[code]
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class MappingRequest:
+    """A parsed, validated experiment request.
+
+    ``config`` (a fingerprint dict) wins over ``scale``; with neither
+    the server's default config applies.  ``engine`` carries extra
+    simulation options exactly as the exec layer takes them
+    (e.g. ``sync_counts``).
+    """
+
+    workload: str
+    version: str
+    scale: int = 0
+    config: Mapping[str, Any] | None = None
+    engine: Mapping[str, Any] = field(default_factory=dict)
+
+    def resolve_config(self):
+        """The :class:`SystemConfig` this request names."""
+        from repro.experiments.config import DEFAULT_CONFIG, scaled_config
+        from repro.trace.replay import config_from_fingerprint
+
+        if self.config is not None:
+            return config_from_fingerprint(dict(self.config))
+        if self.scale:
+            return scaled_config(self.scale)
+        return DEFAULT_CONFIG
+
+    def to_key(self) -> ExperimentKey:
+        return experiment_key(
+            self.workload, self.resolve_config(), self.version, self.engine
+        )
+
+    def to_task(self):
+        """The :class:`~repro.exec.plan.ExperimentTask` to execute."""
+        from repro.exec.plan import ExperimentTask
+
+        return ExperimentTask(
+            key=self.to_key(),
+            workload=self.workload,
+            config=self.resolve_config(),
+            version=self.version,
+            engine=tuple(sorted(dict(self.engine).items())),
+        )
+
+
+def _bad(message: str) -> ProtocolError:
+    return ProtocolError("bad_request", message)
+
+
+def parse_request(body: bytes) -> MappingRequest:
+    """Parse and validate one request body; raises :class:`ProtocolError`."""
+    from repro.simulator.runner import VERSIONS
+    from repro.trace.replay import config_from_fingerprint
+    from repro.workloads.suite import workload_names
+
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise ProtocolError("bad_json", "request body is not valid JSON") from None
+    if not isinstance(doc, dict):
+        raise _bad("request must be a JSON object")
+    if doc.get("record") != REQUEST_RECORD:
+        raise _bad(f"record must be {REQUEST_RECORD!r}")
+    version = doc.get("protocol_version")
+    if not isinstance(version, int):
+        raise _bad("protocol_version must be an integer")
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported_protocol",
+            f"protocol v{version} is newer than this server's "
+            f"v{PROTOCOL_VERSION}",
+        )
+    workload = doc.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise _bad("workload must be a non-empty string")
+    if workload not in workload_names():
+        raise ProtocolError(
+            "unknown_workload",
+            f"unknown workload {workload!r}; choose from {workload_names()}",
+        )
+    mapper = doc.get("version")
+    if not isinstance(mapper, str) or not mapper:
+        raise _bad("version must be a non-empty string")
+    if mapper not in VERSIONS:
+        raise ProtocolError(
+            "unknown_version",
+            f"unknown version {mapper!r}; choose from {list(VERSIONS)}",
+        )
+    scale = doc.get("scale", 0)
+    if not isinstance(scale, int) or isinstance(scale, bool) or scale < 0:
+        raise _bad("scale must be a non-negative integer")
+    config = doc.get("config")
+    if config is not None:
+        if not isinstance(config, dict):
+            raise _bad("config must be a fingerprint object or null")
+        try:
+            config_from_fingerprint(config)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _bad(f"config is not a valid fingerprint ({exc})") from None
+    engine = doc.get("engine") or {}
+    if not isinstance(engine, dict):
+        raise _bad("engine must be an object")
+    return MappingRequest(
+        workload=workload,
+        version=mapper,
+        scale=scale,
+        config=config,
+        engine=engine,
+    )
+
+
+def request_doc(
+    workload: str,
+    version: str,
+    scale: int = 0,
+    config: Mapping[str, Any] | None = None,
+    engine: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build the request body :func:`parse_request` accepts (client side)."""
+    return {
+        "record": REQUEST_RECORD,
+        "protocol_version": PROTOCOL_VERSION,
+        "workload": workload,
+        "version": version,
+        "scale": scale,
+        "config": dict(config) if config is not None else None,
+        "engine": dict(engine or {}),
+    }
+
+
+def response_doc(key: ExperimentKey, result: dict[str, Any]) -> dict[str, Any]:
+    """The response body for one completed request.
+
+    Deterministic per key: everything request-specific (latency, cache
+    temperature, coalescing) is deliberately excluded so that identical
+    requests yield byte-identical bodies (see :func:`encode_doc`).
+    """
+    return {
+        "record": RESPONSE_RECORD,
+        "protocol_version": PROTOCOL_VERSION,
+        "digest": key.digest,
+        "workload": key.workload,
+        "version": key.version,
+        "result": result,
+    }
+
+
+def error_doc(
+    code: str, message: str, retry_after_s: float | None = None
+) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "record": ERROR_RECORD,
+        "protocol_version": PROTOCOL_VERSION,
+        "error": {"code": code, "message": message},
+    }
+    if retry_after_s is not None:
+        doc["retry_after_s"] = retry_after_s
+    return doc
+
+
+def encode_doc(doc: dict[str, Any]) -> bytes:
+    """Canonical body encoding: sorted keys, no whitespace.
+
+    The canonicalisation is what makes "byte-identical responses for
+    identical requests" hold across cache temperature and coalescing.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,487 @@
+"""The asyncio HTTP front end: admission, backpressure, drain, ops.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio`` streams
+(stdlib-only; ``http.server`` is thread-per-request and can't share the
+coalescer's event-loop state).  Endpoints:
+
+* ``POST /v1/experiment`` — run/fetch one experiment
+  (:mod:`repro.serve.protocol` request/response documents);
+* ``GET /healthz`` — liveness (``ok`` / ``draining``);
+* ``GET /statusz`` — JSON operational state: admission queue, coalescer
+  depth, store stats, backend health (``exec.retries`` /
+  ``exec.timeouts`` / failures straight from the telemetry registry);
+* ``GET /metrics`` — Prometheus text exposition of the live registry.
+
+Backpressure is explicit: ``max_queue`` bounds the experiment requests
+admitted concurrently (queued + batching + simulating), and the
+``max_queue + 1``-th gets an immediate ``429`` with a ``Retry-After``
+header — the client-visible contract load generators and upstream
+callers key off.  Ops endpoints bypass admission: you can always ask a
+saturated server how saturated it is.
+
+Shutdown is a drain, not a drop: SIGINT/SIGTERM stop the listener and
+new experiment admissions (``503 draining``), in-flight requests finish
+and flush to the store, then the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+import time
+
+from repro.serve.coalesce import Coalescer
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_doc,
+    error_doc,
+    parse_request,
+    response_doc,
+)
+from repro.telemetry import get_registry, to_prometheus_text, use_registry
+from repro.util.log import get_logger
+
+__all__ = ["SERVE_COUNTERS", "MappingServer"]
+
+_LOG = get_logger("serve.server")
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Serve-side counters, pre-registered at zero like the pipeline's.
+SERVE_COUNTERS = (
+    "serve.requests",
+    "serve.responses",
+    "serve.rejected",
+    "serve.coalesced",
+    "serve.batches",
+)
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+
+
+class _HttpRequest:
+    __slots__ = ("method", "target", "headers", "body", "keep_alive")
+
+    def __init__(self, method, target, headers, body, keep_alive):
+        self.method = method
+        self.target = target
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+
+class MappingServer:
+    """Long-lived mapping-as-a-service front end over one event loop.
+
+    ``executor``/``store`` are the exec backend (defaults: serial
+    in-process execution, no store — pass a
+    :class:`~repro.exec.store.MemoryStore` at least, or warm keys will
+    re-simulate once their in-flight window closes).  ``registry``
+    (a live :class:`~repro.telemetry.MetricsRegistry`) is installed as
+    the process-wide active registry for the server's lifetime so
+    ``/metrics`` and ``/statusz`` have something to report; ``None``
+    leaves whatever registry is already active.
+
+    ``serve_forever()`` blocks until a drain completes and returns the
+    process exit code; tests drive the same object from a thread via
+    ``ready``/``port``/``request_shutdown()``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor=None,
+        store=None,
+        registry=None,
+        max_queue: int = 64,
+        max_batch: int = 8,
+        max_wait_ms: float = 5.0,
+        request_timeout_s: float = 300.0,
+        drain_grace_s: float = 30.0,
+        default_scale: int = 0,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.host = host
+        self.port = port
+        self.registry = registry
+        self.max_queue = max_queue
+        self.request_timeout_s = request_timeout_s
+        self.drain_grace_s = drain_grace_s
+        self.default_scale = default_scale
+        self.coalescer = Coalescer(
+            executor=executor,
+            store=store,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+        )
+        #: Set once the listener is bound (``port`` is then the real one).
+        self.ready = threading.Event()
+        self._active = 0
+        self._busy = 0
+        self._draining = False
+        self._started_monotonic = 0.0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def serve_forever(self, install_signals: bool = True) -> int:
+        """Run until shutdown; returns the process exit code (0 = drained)."""
+        if self.registry is not None:
+            with use_registry(self.registry):
+                return asyncio.run(self._serve(install_signals))
+        return asyncio.run(self._serve(install_signals))
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; thread-safe, callable from anywhere."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    async def _serve(self, install_signals: bool) -> int:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._started_monotonic = time.monotonic()
+        for name in SERVE_COUNTERS:
+            get_registry().counter(name)
+        self.coalescer.start()
+        server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        if install_signals:
+            self._install_signal_handlers()
+        _LOG.info(
+            "serving on %s:%d (max_queue=%d, batch=%d/%.0fms, backend=%r)",
+            self.host,
+            self.port,
+            self.max_queue,
+            self.coalescer.max_batch,
+            self.coalescer.max_wait_s * 1000,
+            self.coalescer.executor,
+        )
+        self.ready.set()
+        await self._stop.wait()
+        self._draining = True
+        _LOG.info(
+            "draining: %d active request(s), %d in flight",
+            self._active,
+            self.coalescer.inflight,
+        )
+        server.close()
+        await server.wait_closed()
+        await self._drain_connections()
+        await self.coalescer.close()
+        _LOG.info("drained; exiting")
+        return 0
+
+    def _install_signal_handlers(self) -> None:
+        assert self._loop is not None and self._stop is not None
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._loop.add_signal_handler(sig, self._stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or platforms without loop signal
+                # support: shutdown then comes via request_shutdown().
+                return
+
+    async def _drain_connections(self) -> None:
+        """Let in-flight *requests* finish, then cut idle connections.
+
+        Waiting on busy dispatches (bounded by ``drain_grace_s``) is the
+        drain guarantee; connections merely parked between keep-alive
+        requests are cancelled immediately — they hold no work.
+        """
+        deadline = time.monotonic() + self.drain_grace_s
+        while self._busy and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    # -- http plumbing ------------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ProtocolError as exc:
+                    # Malformed framing: answer if we can, then hang up
+                    # (the stream position is no longer trustworthy).
+                    await self._respond_error(writer, exc, keep_alive=False)
+                    break
+                if request is None:
+                    break
+                self._busy += 1
+                try:
+                    await self._dispatch(request, writer)
+                finally:
+                    self._busy -= 1
+                # Draining closes keep-alive sessions after the response
+                # in flight — the client re-connects elsewhere.
+                if not request.keep_alive or self._draining:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - one bad connection never kills the server
+            _LOG.exception("connection handler failed")
+        finally:
+            self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(self, reader) -> _HttpRequest | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, http_version = line.decode("ascii").split()
+        except (UnicodeDecodeError, ValueError):
+            raise ProtocolError("bad_request", "malformed request line") from None
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ProtocolError("bad_request", "too many headers")
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            raise ProtocolError("bad_request", "bad Content-Length") from None
+        if length < 0:
+            raise ProtocolError("bad_request", "bad Content-Length")
+        if length > _MAX_BODY_BYTES:
+            raise ProtocolError(
+                "payload_too_large", f"body exceeds {_MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = (
+            headers.get("connection", "keep-alive").lower() != "close"
+            and http_version.upper() != "HTTP/1.0"
+        )
+        return _HttpRequest(method.upper(), target, headers, body, keep_alive)
+
+    async def _respond(
+        self,
+        writer,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: dict[str, str] | None = None,
+        keep_alive: bool = True,
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"X-Repro-Protocol: {PROTOCOL_VERSION}",
+            f"Connection: {'keep-alive' if keep_alive and not self._draining else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
+        await writer.drain()
+        get_registry().counter("serve.responses", code=str(status)).inc()
+
+    async def _respond_error(
+        self, writer, exc: ProtocolError, keep_alive: bool = True
+    ) -> None:
+        extra = {}
+        if exc.retry_after_s is not None:
+            extra["Retry-After"] = str(max(1, int(exc.retry_after_s)))
+        await self._respond(
+            writer,
+            exc.http_status,
+            encode_doc(error_doc(exc.code, exc.message, exc.retry_after_s)),
+            extra_headers=extra,
+            keep_alive=keep_alive,
+        )
+
+    # -- routing ------------------------------------------------------------------
+
+    async def _dispatch(self, request: _HttpRequest, writer) -> None:
+        reg = get_registry()
+        path = request.target.split("?", 1)[0]
+        reg.counter("serve.requests", endpoint=path).inc()
+        try:
+            if path == "/healthz":
+                await self._handle_healthz(request, writer)
+            elif path == "/statusz":
+                await self._handle_statusz(request, writer)
+            elif path == "/metrics":
+                await self._handle_metrics(request, writer)
+            elif path == "/v1/experiment":
+                await self._handle_experiment(request, writer)
+            else:
+                raise ProtocolError("not_found", f"no such endpoint {path!r}")
+        except ProtocolError as exc:
+            await self._respond_error(writer, exc, keep_alive=request.keep_alive)
+
+    def _require_method(self, request: _HttpRequest, method: str) -> None:
+        if request.method != method:
+            raise ProtocolError(
+                "method_not_allowed",
+                f"{request.target} takes {method}, not {request.method}",
+            )
+
+    async def _handle_healthz(self, request: _HttpRequest, writer) -> None:
+        self._require_method(request, "GET")
+        status = "draining" if self._draining else "ok"
+        await self._respond(
+            writer,
+            200,
+            encode_doc({"status": status}),
+            keep_alive=request.keep_alive,
+        )
+
+    async def _handle_statusz(self, request: _HttpRequest, writer) -> None:
+        self._require_method(request, "GET")
+        reg = get_registry()
+
+        def count(name: str) -> int:
+            return reg.counter(name).value
+
+        store = self.coalescer.store
+        doc = {
+            "record": "repro-serve-status",
+            "protocol_version": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "draining": self._draining,
+            "admission": {
+                "active": self._active,
+                "max_queue": self.max_queue,
+                "rejected": count("serve.rejected"),
+            },
+            "coalescer": {
+                "inflight": self.coalescer.inflight,
+                "coalesced": count("serve.coalesced"),
+                "batches": count("serve.batches"),
+                "max_batch": self.coalescer.max_batch,
+                "max_wait_ms": self.coalescer.max_wait_s * 1000.0,
+            },
+            "store": store.stats().as_dict() if store is not None else None,
+            "backend": {
+                "executor": repr(self.coalescer.executor),
+                "simulations": count("simulator.simulations"),
+                "retries": count("exec.retries"),
+                "timeouts": count("exec.timeouts"),
+                "failures": count("exec.tasks.failed"),
+            },
+        }
+        await self._respond(
+            writer, 200, encode_doc(doc), keep_alive=request.keep_alive
+        )
+
+    async def _handle_metrics(self, request: _HttpRequest, writer) -> None:
+        self._require_method(request, "GET")
+        text = to_prometheus_text(get_registry())
+        await self._respond(
+            writer,
+            200,
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4",
+            keep_alive=request.keep_alive,
+        )
+
+    # -- the mapping endpoint -----------------------------------------------------
+
+    async def _handle_experiment(self, request: _HttpRequest, writer) -> None:
+        self._require_method(request, "POST")
+        if self._draining:
+            raise ProtocolError(
+                "draining", "server is draining; retry elsewhere", retry_after_s=1.0
+            )
+        if self._active >= self.max_queue:
+            get_registry().counter("serve.rejected").inc()
+            raise ProtocolError(
+                "overloaded",
+                f"admission queue full ({self.max_queue} requests in flight)",
+                retry_after_s=1.0,
+            )
+        mapping = parse_request(request.body)
+        if mapping.config is None and mapping.scale == 0 and self.default_scale:
+            mapping = type(mapping)(
+                workload=mapping.workload,
+                version=mapping.version,
+                scale=self.default_scale,
+                config=None,
+                engine=mapping.engine,
+            )
+        task = mapping.to_task()
+        reg = get_registry()
+        self._active += 1
+        reg.gauge("serve.queue_depth").set(self._active)
+        start = time.perf_counter()
+        try:
+            try:
+                submitted = await asyncio.wait_for(
+                    self.coalescer.submit(task), self.request_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise ProtocolError(
+                    "timeout",
+                    f"request exceeded {self.request_timeout_s:.0f}s "
+                    f"(key {task.key.digest[:12]})",
+                ) from None
+            except ProtocolError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - typed for the wire
+                _LOG.exception("backend failed for %r", task.key)
+                raise ProtocolError(
+                    "internal", f"backend failed: {exc}"
+                ) from exc
+        finally:
+            self._active -= 1
+            reg.gauge("serve.queue_depth").set(self._active)
+            reg.histogram("serve.request_seconds").observe(
+                time.perf_counter() - start
+            )
+        source = (
+            "cache" if submitted.cached
+            else "coalesced" if submitted.coalesced
+            else "simulated"
+        )
+        await self._respond(
+            writer,
+            200,
+            encode_doc(response_doc(task.key, submitted.result)),
+            extra_headers={
+                "X-Repro-Source": source,
+                "X-Repro-Batch-Size": str(submitted.batch_size),
+                "X-Repro-Digest": task.key.digest,
+            },
+            keep_alive=request.keep_alive,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MappingServer({self.host}:{self.port}, "
+            f"max_queue={self.max_queue}, backend={self.coalescer.executor!r})"
+        )

@@ -45,6 +45,7 @@ from repro.telemetry.registry import (
     NullRegistry,
     get_registry,
     set_registry,
+    thread_registry,
     use_registry,
 )
 
@@ -58,6 +59,7 @@ __all__ = [
     "get_registry",
     "set_registry",
     "use_registry",
+    "thread_registry",
     "phase",
     "PhaseProfiler",
     "PhaseRecord",

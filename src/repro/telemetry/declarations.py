@@ -31,11 +31,13 @@ PIPELINE_COUNTERS = (
     "simulator.simulations",
     "exec.tasks.submitted",
     "exec.tasks.completed",
-    "exec.tasks.retried",
+    "exec.retries",
+    "exec.timeouts",
     "exec.tasks.failed",
     "exec.store.hits",
     "exec.store.misses",
     "exec.store.writes",
+    "exec.store.touches",
     "exec.store.corrupt",
     "exec.store.invalidated",
     "exec.store.evictions",

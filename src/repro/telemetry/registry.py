@@ -27,6 +27,7 @@ of the simulator.
 from __future__ import annotations
 
 import re
+import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -40,6 +41,7 @@ __all__ = [
     "get_registry",
     "set_registry",
     "use_registry",
+    "thread_registry",
 ]
 
 #: Hierarchical instrument names: dotted lowercase words.
@@ -345,10 +347,17 @@ NULL_REGISTRY = NullRegistry()
 
 _active: MetricsRegistry | NullRegistry = NULL_REGISTRY
 
+#: Per-thread override of the process-global active registry, so a
+#: worker thread can collect into a private registry (run_payload's
+#: snapshot repatriation) without hijacking what every other thread —
+#: e.g. the serve event loop rendering /metrics — sees.
+_LOCAL = threading.local()
+
 
 def get_registry() -> MetricsRegistry | NullRegistry:
     """The active registry instrumentation sites record into."""
-    return _active
+    override = getattr(_LOCAL, "registry", None)
+    return _active if override is None else override
 
 
 def set_registry(
@@ -374,3 +383,20 @@ def use_registry(registry: MetricsRegistry | NullRegistry):
         yield registry
     finally:
         _active = previous
+
+
+@contextmanager
+def thread_registry(registry: MetricsRegistry | NullRegistry):
+    """Scope ``registry`` as active *for the current thread only*.
+
+    Other threads keep seeing the process-global registry.  This is the
+    isolation :func:`repro.exec.executor.run_payload` needs when it runs
+    in a backend thread of a long-lived server: its private collection
+    registry must not leak into concurrently served ``/metrics`` reads.
+    """
+    previous = getattr(_LOCAL, "registry", None)
+    _LOCAL.registry = registry
+    try:
+        yield registry
+    finally:
+        _LOCAL.registry = previous

@@ -119,8 +119,23 @@ class TestDegradation:
         with use_registry(registry):
             with pytest.raises(TaskError):
                 ex.run_payloads([payloads[1], bad])
-        assert registry.counter("exec.tasks.retried").value == 2
+        assert registry.counter("exec.retries").value == 2
         assert registry.counter("exec.tasks.failed").value == 1
+
+    def test_timeout_counter(self, payloads):
+        registry = MetricsRegistry()
+        ex = ExperimentExecutor(
+            workers=2, task_timeout_s=1e-6, retries=1, backoff_s=0.0
+        )
+        with use_registry(registry):
+            ex.run_payloads(payloads)
+        # A 1 µs wait times out unless the pool finished the task first
+        # (later futures are collected after real wall time has passed),
+        # so at least the first wait times out; every timed-out task then
+        # succeeds on its single in-process retry.
+        timeouts = registry.counter("exec.timeouts").value
+        assert timeouts >= 1
+        assert registry.counter("exec.retries").value == timeouts
 
 
 class TestValidation:

@@ -180,6 +180,22 @@ class TestGc:
         assert [p.exists() for p in paths] == [False] * 3 + [True] * 3
         assert store.stats().bytes <= cap
 
+    def test_gc_is_lru_not_fifo(self, tmp_path, config):
+        """A read refreshes recency: the oldest-*written* entry survives
+        gc if it was read since, and the least-recently-used one goes."""
+        store = ResultStore(tmp_path)
+        paths = self._fill(store, config, 3)  # write order: 0, 1, 2
+        key0 = experiment_key("r0", config, "@report", {"kind": "report"})
+        assert store.get_report(key0) is not None  # touch entry 0
+        assert paths[0].stat().st_mtime > paths[2].stat().st_mtime
+        cap = sum(p.stat().st_size for p in paths[1:])  # room for two
+        assert store.gc(cap) == 1
+        # FIFO would have evicted entry 0; LRU evicts entry 1.
+        assert [p.exists() for p in paths] == [True, False, True]
+        s = store.stats()
+        assert s.touches == 1
+        assert s.evicted == 1
+
     def test_gc_without_cap_is_noop(self, tmp_path, config):
         store = ResultStore(tmp_path)
         self._fill(store, config, 3)

@@ -8,6 +8,7 @@ from repro.telemetry import (
     NullRegistry,
     get_registry,
     set_registry,
+    thread_registry,
     use_registry,
 )
 
@@ -122,6 +123,39 @@ class TestActivation:
             assert get_registry() is reg
         finally:
             set_registry(prev)
+        assert get_registry() is NULL_REGISTRY
+
+    def test_thread_registry_overrides_current_thread_only(self):
+        import threading
+
+        shared, private = MetricsRegistry(), MetricsRegistry()
+        seen_by_other_thread = []
+
+        def observe():
+            seen_by_other_thread.append(get_registry())
+
+        with use_registry(shared):
+            with thread_registry(private):
+                assert get_registry() is private
+                t = threading.Thread(target=observe)
+                t.start()
+                t.join(10.0)
+            assert get_registry() is shared
+        assert seen_by_other_thread == [shared]
+
+    def test_thread_registry_restores_on_error(self):
+        private = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with thread_registry(private):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_thread_registry_nests(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with thread_registry(outer):
+            with thread_registry(inner):
+                assert get_registry() is inner
+            assert get_registry() is outer
         assert get_registry() is NULL_REGISTRY
 
 
