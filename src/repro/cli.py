@@ -238,8 +238,12 @@ def _cmd_request(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient, ServeError
 
     client = ServeClient(args.url, timeout=args.timeout)
+    scenario = getattr(args, "scenario", "") or None
     try:
-        resp = client.experiment(args.workload, args.mapper, scale=args.scale)
+        if scenario is not None:
+            resp = client.experiment(scale=args.scale, scenario=scenario)
+        else:
+            resp = client.experiment(args.workload, args.mapper, scale=args.scale)
     except ServeError as exc:
         return _fail(f"{args.url}: {exc}")
     except OSError as exc:
@@ -252,9 +256,10 @@ def _cmd_request(args: argparse.Namespace) -> int:
     from repro.simulator.serialization import result_from_dict
 
     result = result_from_dict(resp.result)
+    what = scenario or f"{args.workload}/{args.mapper}"
     _print_sim_summary(
         result.sim,
-        f"{args.workload}/{args.mapper} via {args.url} "
+        f"{what} via {args.url} "
         f"({resp.source or 'unknown'}, batch={resp.batch_size})",
     )
     print(f"  digest: {resp.digest[:12]}")
@@ -589,6 +594,100 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- scenario commands --------------------------------------------------------------
+
+
+def _load_scenario(args: argparse.Namespace):
+    """Resolve the scenario named on the command line (name or spec file)."""
+    from repro.scenario import get_scenario, load_spec_file
+
+    ref = args.scenario
+    if ref.endswith((".json", ".yaml", ".yml")):
+        return load_spec_file(ref)
+    return get_scenario(ref)
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenario import get_scenario, scenario_names
+
+    rows = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        rows.append([name, spec.kind, spec.description or "-"])
+    print(format_table(["name", "kind", "description"], rows,
+                       title="Registered scenarios"))
+    return 0
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.scenario import spec_to_dict
+
+    try:
+        spec = _load_scenario(args)
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(str(exc.args[0] if isinstance(exc, KeyError) else exc))
+    print(json_mod.dumps(spec_to_dict(spec), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    from repro.scenario import get_scenario, load_spec_file, scenario_names
+
+    if args.scenario:
+        names = [args.scenario]
+    else:
+        names = scenario_names()
+    problems = 0
+    for ref in names:
+        try:
+            if ref.endswith((".json", ".yaml", ".yml")):
+                spec = load_spec_file(ref)
+            else:
+                spec = get_scenario(ref)
+            spec.deep_validate()
+        except (KeyError, OSError, ValueError) as exc:
+            problems += 1
+            msg = exc.args[0] if isinstance(exc, KeyError) else exc
+            print(f"  {ref}: INVALID ({msg})", file=sys.stderr)
+        else:
+            print(f"  {spec.name}: ok ({spec.kind})")
+    if problems:
+        return _fail(f"{problems} invalid scenario(s)")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.scenario import result_digest, run_scenario
+    from repro.scenario.runner import scenario_key
+
+    try:
+        spec = _load_scenario(args)
+        spec.deep_validate()
+    except (KeyError, OSError, ValueError) as exc:
+        return _fail(str(exc.args[0] if isinstance(exc, KeyError) else exc))
+    if args.policies:
+        parts = tuple(p.strip() for p in args.policies.split(","))
+        if len(parts) != 3:
+            return _fail("--policies expects l1,l2,l3 policy names")
+        spec = dc_replace(spec, policies=parts)
+    config = _config_from(args) or config_mod.DEFAULT_CONFIG
+    version = args.mapper or None
+    try:
+        key = scenario_key(spec, config, version)
+        result = run_scenario(spec, config, version)
+    except (KeyError, ValueError) as exc:
+        return _fail(str(exc.args[0] if isinstance(exc, KeyError) else exc))
+    _print_sim_summary(
+        result.sim, f"Scenario {spec.name} ({spec.kind}) as {key.workload}/{key.version}"
+    )
+    print(f"  key: {key.digest[:12]}   result digest: {result_digest(result)}")
+    return 0
+
+
 # -- parser -------------------------------------------------------------------------
 
 
@@ -746,6 +845,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default="inter+sched",
         choices=VERSIONS,
         help="mapping version to request (default: inter+sched)",
+    )
+    p.add_argument(
+        "--scenario",
+        default="",
+        help="request a registered scenario instead of --workload/--mapper",
     )
     p.add_argument(
         "--timeout", type=float, default=600.0, help="client timeout in seconds"
@@ -907,6 +1011,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="top-N chunk movers to report"
     )
     p.set_defaults(func=_cmd_trace_diff)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenarios: registry, generators, traces"
+    )
+    ssub = scenario.add_subparsers(
+        dest="scenario_command", required=True, metavar="action"
+    )
+
+    p = ssub.add_parser(
+        "list", parents=[log_parent], help="list registered scenarios"
+    )
+    p.set_defaults(func=_cmd_scenario_list)
+
+    p = ssub.add_parser(
+        "show",
+        parents=[log_parent],
+        help="print one scenario's spec document as JSON",
+    )
+    p.add_argument("scenario", help="registered name or spec file (.json/.yaml)")
+    p.set_defaults(func=_cmd_scenario_show)
+
+    p = ssub.add_parser(
+        "validate",
+        parents=[log_parent],
+        help="validate scenarios (all built-ins when none is named)",
+    )
+    p.add_argument(
+        "scenario",
+        nargs="?",
+        default="",
+        help="registered name or spec file; default: every registered scenario",
+    )
+    p.set_defaults(func=_cmd_scenario_validate)
+
+    p = ssub.add_parser(
+        "run",
+        parents=[log_parent, scale_parent, telemetry_parent, exec_parent],
+        help="execute one scenario through the exec runtime",
+    )
+    p.add_argument("scenario", help="registered name or spec file (.json/.yaml)")
+    p.add_argument(
+        "--mapper",
+        default="",
+        choices=("",) + VERSIONS,
+        help="mapper version override (workload-kind scenarios only)",
+    )
+    p.add_argument(
+        "--policies",
+        default="",
+        metavar="L1,L2,L3",
+        help="per-level replacement policies, leaf first (e.g. lru,rrip,arc)",
+    )
+    p.set_defaults(func=_cmd_scenario_run)
 
     return parser
 

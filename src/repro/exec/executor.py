@@ -61,17 +61,47 @@ def task_payload(
     version: str,
     engine: dict[str, Any] | None = None,
     collect_metrics: bool = False,
+    scenario: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Build the picklable task document ``run_payload`` executes."""
-    from repro.trace.replay import config_fingerprint
+    """Build the picklable task document ``run_payload`` executes.
 
-    return {
+    ``scenario`` is a scenario-spec fingerprint; when present the worker
+    routes the payload through :mod:`repro.scenario.runner` instead of
+    the suite workload builders.
+    """
+    from repro.util.fingerprint import config_fingerprint
+
+    payload = {
         "workload": workload,
         "version": version,
         "config": config_fingerprint(config),
         "engine": dict(engine or {}),
         "collect_metrics": collect_metrics,
     }
+    if scenario is not None:
+        payload["scenario"] = dict(scenario)
+    return payload
+
+
+def _execute_payload(payload: dict[str, Any]):
+    """Run the simulation a payload describes (no metrics plumbing)."""
+    from repro.simulator.runner import run_experiment
+    from repro.util.fingerprint import config_from_fingerprint
+    from repro.workloads.suite import get_workload
+
+    config = config_from_fingerprint(payload["config"])
+    if payload.get("scenario"):
+        from repro.scenario.runner import run_scenario_payload
+
+        return run_scenario_payload(payload, config)
+    workload = get_workload(payload["workload"])
+    engine = payload.get("engine") or {}
+    sync_counts = engine.get("sync_counts")
+    if sync_counts is not None:
+        sync_counts = {int(c): int(n) for c, n in sync_counts.items()}
+    return run_experiment(
+        workload, config, payload["version"], sync_counts=sync_counts
+    )
 
 
 def run_payload(payload: dict[str, Any]) -> dict[str, Any]:
@@ -81,17 +111,8 @@ def run_payload(payload: dict[str, Any]) -> dict[str, Any]:
     ``fork`` and ``spawn`` start methods.  Returns
     ``{"result": result_to_dict(...), "metrics": registry snapshot | None}``.
     """
-    from repro.simulator.runner import run_experiment
     from repro.simulator.serialization import result_to_dict
-    from repro.trace.replay import config_from_fingerprint
-    from repro.workloads.suite import get_workload
 
-    config = config_from_fingerprint(payload["config"])
-    workload = get_workload(payload["workload"])
-    engine = payload.get("engine") or {}
-    sync_counts = engine.get("sync_counts")
-    if sync_counts is not None:
-        sync_counts = {int(c): int(n) for c, n in sync_counts.items()}
     metrics = None
     if payload.get("collect_metrics"):
         # Thread-scoped, not process-global: in-process retries and the
@@ -99,14 +120,10 @@ def run_payload(payload: dict[str, Any]) -> dict[str, Any]:
         # collection registry must not shadow what other threads see.
         registry = MetricsRegistry()
         with thread_registry(registry):
-            result = run_experiment(
-                workload, config, payload["version"], sync_counts=sync_counts
-            )
+            result = _execute_payload(payload)
         metrics = registry.as_dict()
     else:
-        result = run_experiment(
-            workload, config, payload["version"], sync_counts=sync_counts
-        )
+        result = _execute_payload(payload)
     return {"result": result_to_dict(result), "metrics": metrics}
 
 

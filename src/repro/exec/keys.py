@@ -2,11 +2,14 @@
 
 An :class:`ExperimentKey` names one simulation task — a (workload,
 config, version) triple plus any engine options — stably across
-processes and sessions.  The config part reuses the telemetry/trace
-``config_fingerprint`` serialisation so the three artifact families
-(trace artifacts, run manifests, cached results) agree on what "the
-same configuration" means; the seed participates through the
-fingerprint, so changing ``config.seed`` changes the key.
+processes and sessions.  Keys hash the canonical identity document of
+:func:`repro.util.fingerprint.experiment_identity`, the one assembly
+shared with trace artifacts, run manifests and the serve protocol, so
+the artifact families agree on what "the same experiment" means; the
+seed participates through the config fingerprint, so changing
+``config.seed`` changes the key.  Scenario specs fold into the engine
+options under the reserved ``"scenario"`` key, giving scenarios that
+differ only in spec or per-level policy distinct digests.
 
 The digest is a SHA-256 over a canonical JSON encoding (sorted keys,
 no whitespace) prefixed with a key-schema tag, so any change to the
@@ -21,17 +24,18 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.util.fingerprint import canonical_json as _canonical_json
+from repro.util.fingerprint import experiment_identity
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.config import SystemConfig
 
 __all__ = ["KEY_SCHEMA_VERSION", "ExperimentKey", "experiment_key"]
 
 #: Bump when the key derivation changes; digests embed this version.
-KEY_SCHEMA_VERSION = 1
-
-
-def _canonical_json(doc: Any) -> str:
-    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+#: v2: config fingerprints grew the per-level ``policies`` field and
+#: engine options are canonicalised by :mod:`repro.util.fingerprint`.
+KEY_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -110,19 +114,21 @@ def experiment_key(
     config: "SystemConfig",
     version: str,
     engine: Mapping[str, Any] | None = None,
+    scenario: Mapping[str, Any] | None = None,
 ) -> ExperimentKey:
     """Derive the key for one task.
 
     ``workload`` is the suite name (workload builders are pure functions
     of name + config, so the name plus the config fingerprint pins the
     generated access streams); ``engine`` carries any extra simulation
-    options outside the config (e.g. explicit ``sync_counts``).
+    options outside the config (e.g. explicit ``sync_counts``);
+    ``scenario`` is a scenario-spec fingerprint folded into the engine
+    options under the reserved ``"scenario"`` key.
     """
-    from repro.trace.replay import config_fingerprint
-
+    identity = experiment_identity(workload, version, config, engine, scenario)
     return ExperimentKey(
         workload=workload,
         version=version,
-        config_json=_canonical_json(config_fingerprint(config)),
-        engine_json=_canonical_json(dict(engine or {})),
+        config_json=_canonical_json(identity["config"]),
+        engine_json=_canonical_json(identity["engine"]),
     )

@@ -50,9 +50,17 @@ class ExperimentTask:
     config: "SystemConfig"
     version: str
     engine: tuple = ()
+    #: Canonical-JSON scenario-spec fingerprint ("" = plain workload).
+    #: A string, not a dict, so the frozen task stays hashable.
+    scenario: str = ""
 
     def engine_dict(self) -> dict[str, Any]:
         return dict(self.engine)
+
+    def scenario_dict(self) -> dict[str, Any] | None:
+        import json
+
+        return json.loads(self.scenario) if self.scenario else None
 
 
 @dataclass
@@ -70,10 +78,13 @@ class SweepPlan:
         config: "SystemConfig",
         version: str,
         engine: Mapping[str, Any] | None = None,
+        scenario: Mapping[str, Any] | None = None,
     ) -> ExperimentKey:
         """Add one task (idempotent per key); returns its key."""
+        from repro.util.fingerprint import canonical_json
+
         name = workload if isinstance(workload, str) else workload.name
-        key = experiment_key(name, config, version, engine)
+        key = experiment_key(name, config, version, engine, scenario)
         if key.digest in self._seen:
             self.duplicates += 1
             return key
@@ -85,6 +96,7 @@ class SweepPlan:
                 config=config,
                 version=version,
                 engine=tuple(sorted((engine or {}).items())),
+                scenario=canonical_json(dict(scenario)) if scenario else "",
             )
         )
         return key
@@ -139,7 +151,12 @@ def execute_plan(
         collect = reg.enabled
         payloads = [
             task_payload(
-                t.workload, t.config, t.version, t.engine_dict(), collect
+                t.workload,
+                t.config,
+                t.version,
+                t.engine_dict(),
+                collect,
+                scenario=t.scenario_dict(),
             )
             for t in misses
         ]

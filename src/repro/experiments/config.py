@@ -66,8 +66,14 @@ class SystemConfig:
     #: defaults grow per level to preserve each level's hit opportunity
     #: (per-client share: 1024 data elements vs 1024 L1, 1536 L2, 3072 L3).
     cache_elems: tuple[int, int, int] = (1024, 3072, 12288)
-    #: Replacement policy of every storage cache.
+    #: Replacement policy of every storage cache (uniform default).
     policy: str = "lru"
+    #: Optional per-level policy override, leaf first (L1, L2, L3); when
+    #: set it wins over :attr:`policy`.  The paper manages every cache
+    #: with LRU but stresses the mapping "can work with any storage
+    #: caching policy" — this is the knob the scenario layer uses to
+    #: exercise that claim (e.g. RRIP at L2, ARC at L3).
+    policies: tuple[str, str, str] | None = None
     #: Fig. 5 balance threshold (fraction of mean iterations; paper: 10 %).
     balance_threshold: float = 0.10
     #: Fig. 15 reuse weights (paper's best setting).
@@ -94,6 +100,16 @@ class SystemConfig:
             raise ValueError("cache_elems must be (L1, L2, L3)")
         for c in self.cache_elems:
             check_positive("cache capacity", c)
+        if self.policies is not None:
+            if len(self.policies) != 3:
+                raise ValueError("policies must name one policy per level (L1, L2, L3)")
+            from repro.hierarchy.policies import policy_names
+
+            for p in self.policies:
+                if p not in policy_names():
+                    raise ValueError(
+                        f"unknown policy {p!r}; choose from {policy_names()}"
+                    )
         check_in_range("balance_threshold", self.balance_threshold, 0.0, 1.0)
         check_positive("data_elems", self.data_elems)
         if self.prefetch_degree < 0:
@@ -110,13 +126,19 @@ class SystemConfig:
         """Per-node capacity in chunks of cache level 0 (L1) / 1 / 2."""
         return max(1, self.cache_elems[level] // self.chunk_elems)
 
+    def level_policies(self) -> tuple[str, str, str]:
+        """Effective per-level policies, leaf first (L1, L2, L3)."""
+        if self.policies is not None:
+            return self.policies
+        return (self.policy, self.policy, self.policy)
+
     def build_hierarchy(self) -> CacheHierarchy:
         return three_level_hierarchy(
             self.num_clients,
             self.num_io_nodes,
             self.num_storage_nodes,
             tuple(self.capacity_chunks(l) for l in range(3)),
-            self.policy,
+            self.level_policies(),
         )
 
     def with_topology(self, w: int, x: int, y: int) -> "SystemConfig":
@@ -130,6 +152,10 @@ class SystemConfig:
     def with_chunk_elems(self, chunk_elems: int) -> "SystemConfig":
         """Fig. 14: change the data chunk size (dataset bytes held fixed)."""
         return replace(self, chunk_elems=chunk_elems)
+
+    def with_policies(self, l1: str, l2: str, l3: str) -> "SystemConfig":
+        """Per-level replacement policies (scenario policy matrix)."""
+        return replace(self, policies=(l1, l2, l3))
 
 
 #: The default (Table 1 analogue) configuration used by the experiments.

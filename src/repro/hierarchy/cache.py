@@ -37,7 +37,9 @@ class ChunkCache:
         name: str = "cache",
     ):
         self.capacity = check_positive("capacity_chunks", capacity_chunks)
-        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.policy = (
+            make_policy(policy, self.capacity) if isinstance(policy, str) else policy
+        )
         self.stats = CacheStats()
         self.name = name
 

@@ -224,16 +224,34 @@ class CacheHierarchy:
         return f"CacheHierarchy(clients={self.num_clients}, shape={fan})"
 
 
+def _per_level_policies(policy: str | Sequence[str], num_levels: int) -> list[str]:
+    """Expand a policy argument into one name per cache level.
+
+    A bare string applies uniformly; a sequence names each level and
+    must match ``num_levels`` exactly.
+    """
+    if isinstance(policy, str):
+        return [policy] * num_levels
+    names = list(policy)
+    if len(names) != num_levels:
+        raise ValueError(
+            f"need one policy per cache level: got {len(names)}, want {num_levels}"
+        )
+    return names
+
+
 def three_level_hierarchy(
     num_clients: int,
     num_io_nodes: int,
     num_storage_nodes: int,
     capacities: tuple[int, int, int],
-    policy: str = "lru",
+    policy: str | Sequence[str] = "lru",
 ) -> CacheHierarchy:
     """The paper's compute/I-O/storage topology (Fig. 1, Table 1).
 
     ``capacities`` are per-node (L1, L2, L3) capacities in chunks.
+    ``policy`` is one name for every cache or a leaf-first (L1, L2, L3)
+    triple — the scenario layer's per-level policy matrix.
     ``num_clients`` must divide evenly over the I/O nodes and those over
     the storage nodes (as in BG/P's fixed compute:I/O ratios).
     """
@@ -245,6 +263,7 @@ def three_level_hierarchy(
     if x % y:
         raise ValueError(f"{x} I/O nodes do not divide over {y} storage nodes")
     c1, c2, c3 = capacities
+    p1, p2, p3 = _per_level_policies(policy, 3)
     clients_per_io = w // x
     io_per_storage = x // y
 
@@ -259,7 +278,7 @@ def three_level_hierarchy(
                 leaf = CacheNode(
                     f"cn{client_id}",
                     "L1",
-                    ChunkCache(c1, policy, name=f"L1[cn{client_id}]"),
+                    ChunkCache(c1, p1, name=f"L1[cn{client_id}]"),
                     client_id=client_id,
                 )
                 leaf_children.append(leaf)
@@ -268,13 +287,13 @@ def three_level_hierarchy(
                 CacheNode(
                     f"io{io_index}",
                     "L2",
-                    ChunkCache(c2, policy, name=f"L2[io{io_index}]"),
+                    ChunkCache(c2, p2, name=f"L2[io{io_index}]"),
                     leaf_children,
                 )
             )
             io_index += 1
         storage_nodes.append(
-            CacheNode(f"sn{s}", "L3", ChunkCache(c3, policy, name=f"L3[sn{s}]"), io_children)
+            CacheNode(f"sn{s}", "L3", ChunkCache(c3, p3, name=f"L3[sn{s}]"), io_children)
         )
     if len(storage_nodes) == 1:
         root = storage_nodes[0]
@@ -286,7 +305,7 @@ def three_level_hierarchy(
 def uniform_hierarchy(
     fanouts: Sequence[int],
     capacities: Sequence[int],
-    policy: str = "lru",
+    policy: str | Sequence[str] = "lru",
     level_names: Sequence[str] | None = None,
 ) -> CacheHierarchy:
     """A uniform tree of arbitrary depth.
@@ -295,12 +314,15 @@ def uniform_hierarchy(
     nodes under the (dummy, if >1) root, then per-node children.  The
     last fanout produces the client leaves.  ``capacities`` are per-node
     chunk capacities top-down — ``capacities[-1]`` is the private level.
+    ``policy`` is one name for all levels or a top-down sequence
+    aligned with ``capacities``.
     """
     if len(fanouts) != len(capacities):
         raise ValueError("need one capacity per level")
     if not fanouts:
         raise ValueError("need at least one level")
     depth = len(fanouts)
+    policies = _per_level_policies(policy, depth)
     if level_names is None:
         level_names = [f"L{depth - d}" for d in range(depth)]
     counter = {"client": 0, "node": 0}
@@ -314,14 +336,22 @@ def uniform_hierarchy(
             return CacheNode(
                 f"cn{cid}",
                 level_names[level],
-                ChunkCache(capacities[level], policy, name=f"{level_names[level]}[cn{cid}]"),
+                ChunkCache(
+                    capacities[level],
+                    policies[level],
+                    name=f"{level_names[level]}[cn{cid}]",
+                ),
                 client_id=cid,
             )
         children = [build(level + 1) for _ in range(fanouts[level + 1])]
         return CacheNode(
             name,
             level_names[level],
-            ChunkCache(capacities[level], policy, name=f"{level_names[level]}[{name}]"),
+            ChunkCache(
+                capacities[level],
+                policies[level],
+                name=f"{level_names[level]}[{name}]",
+            ),
             children,
         )
 
@@ -334,8 +364,10 @@ def hierarchy_from_spec(spec: dict, policy: str = "lru") -> CacheHierarchy:
     """Build an arbitrary (possibly non-uniform) hierarchy from a spec.
 
     A node spec is a dict with ``capacity`` (chunks) and optional
-    ``level`` (name) and ``children`` (list of node specs); a leaf spec
-    (no ``children``) becomes one client.  A top-level spec of the form
+    ``level`` (name), ``policy`` (replacement policy name overriding the
+    ``policy`` argument for that node) and ``children`` (list of node
+    specs); a leaf spec (no ``children``) becomes one client.  A
+    top-level spec of the form
     ``{"roots": [...]}`` creates a dummy root over several storage
     nodes.  Client ids are assigned left to right.
 
@@ -370,6 +402,7 @@ def hierarchy_from_spec(spec: dict, policy: str = "lru") -> CacheHierarchy:
             raise ValueError("every node spec needs a 'capacity'")
         capacity = node_spec["capacity"]
         level = node_spec.get("level", f"L{depth_left}")
+        node_policy = node_spec.get("policy", policy)
         children_spec = node_spec.get("children")
         if not children_spec:
             cid = counter["client"]
@@ -377,7 +410,7 @@ def hierarchy_from_spec(spec: dict, policy: str = "lru") -> CacheHierarchy:
             return CacheNode(
                 f"cn{cid}",
                 level,
-                ChunkCache(capacity, policy, name=f"{level}[cn{cid}]"),
+                ChunkCache(capacity, node_policy, name=f"{level}[cn{cid}]"),
                 client_id=cid,
             )
         name = f"n{counter['node']}"
@@ -386,7 +419,7 @@ def hierarchy_from_spec(spec: dict, policy: str = "lru") -> CacheHierarchy:
         return CacheNode(
             name,
             level,
-            ChunkCache(capacity, policy, name=f"{level}[{name}]"),
+            ChunkCache(capacity, node_policy, name=f"{level}[{name}]"),
             children,
         )
 

@@ -1,0 +1,70 @@
+"""Declarative scenarios: the registry-driven workload layer.
+
+The reproduction's runtime (exec pool, result store, serve endpoint)
+historically ran only the paper's fixed eight-workload suite.  This
+package turns "what to run" into data:
+
+* :mod:`repro.scenario.spec` — the :class:`ScenarioSpec` document
+  (JSON/YAML) naming a stream source and its parameters;
+* :mod:`repro.scenario.registry` — named, discoverable specs (the
+  eight suite workloads are built-ins) with ``@register_scenario``;
+* :mod:`repro.scenario.stochastic` — Zipf/stationary and bursty
+  on/off request-stream generators, bit-reproducible by seed;
+* :mod:`repro.scenario.traces` — CSV/JSONL access-log ingestion and
+  export;
+* :mod:`repro.scenario.runner` — spec → :class:`ExperimentKey` →
+  cached execution through :mod:`repro.exec`.
+
+Per-level replacement policies (spec ``policies``) plug into the same
+hierarchy the mapper targets, exercising the paper's claim that the
+mapping "can work with any storage caching policy".
+"""
+
+from repro.scenario.registry import (
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+from repro.scenario.runner import result_digest, run_scenario, scenario_key
+from repro.scenario.spec import (
+    SCENARIO_KINDS,
+    SCENARIO_SPEC_VERSION,
+    ScenarioSpec,
+    load_spec_file,
+    spec_fingerprint,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.scenario.stochastic import onoff_streams, zipf_streams
+from repro.scenario.traces import (
+    TraceFormatError,
+    export_trace_csv,
+    export_trace_jsonl,
+    ingest_trace,
+    trace_sha256,
+)
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "SCENARIO_SPEC_VERSION",
+    "ScenarioSpec",
+    "TraceFormatError",
+    "export_trace_csv",
+    "export_trace_jsonl",
+    "get_scenario",
+    "ingest_trace",
+    "load_spec_file",
+    "onoff_streams",
+    "register_scenario",
+    "resolve_scenario",
+    "result_digest",
+    "run_scenario",
+    "scenario_key",
+    "scenario_names",
+    "spec_fingerprint",
+    "spec_from_dict",
+    "spec_to_dict",
+    "trace_sha256",
+    "zipf_streams",
+]

@@ -1,0 +1,120 @@
+"""The scenario registry: named specs, discoverable and extensible.
+
+Built-in entries cover the paper's eight suite workloads (one
+``workload``-kind scenario each, so ``repro scenario run hf`` is the
+same experiment as the legacy path) plus exemplar stochastic entries.
+User code extends the registry with :func:`register_scenario`, either
+directly with a :class:`~repro.scenario.spec.ScenarioSpec` or as a
+decorator on a zero-argument factory::
+
+    @register_scenario
+    def my_scenario():
+        return ScenarioSpec("my-zipf", "zipf", {"alpha": 1.1})
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.scenario.spec import ScenarioSpec, spec_from_dict
+
+__all__ = [
+    "register_scenario",
+    "scenario_names",
+    "get_scenario",
+    "resolve_scenario",
+]
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    obj: ScenarioSpec | Callable[[], ScenarioSpec],
+) -> ScenarioSpec | Callable[[], ScenarioSpec]:
+    """Register a spec (or a zero-arg factory of one) by its name.
+
+    Returns its argument unchanged so it works as a decorator.
+    Duplicate names are rejected — a registry entry is an identity, and
+    silently replacing one would re-route existing cache keys.
+    """
+    spec = obj() if callable(obj) else obj
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return obj
+
+
+def scenario_names() -> list[str]:
+    """Every registered scenario name, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+def resolve_scenario(ref: str | Mapping[str, Any] | ScenarioSpec) -> ScenarioSpec:
+    """A registry name, an inline spec document, or a spec — to a spec.
+
+    This is the one entry point the CLI and the serve protocol share,
+    so a request naming a scenario and one inlining the identical spec
+    resolve to the same experiment.
+    """
+    if isinstance(ref, ScenarioSpec):
+        return ref
+    if isinstance(ref, str):
+        return get_scenario(ref)
+    if not isinstance(ref, Mapping):
+        raise TypeError(
+            f"expected a scenario name, spec document or ScenarioSpec, "
+            f"got {type(ref).__name__}"
+        )
+    return spec_from_dict(ref)
+
+
+def _register_builtins() -> None:
+    from repro.workloads.suite import SUITE
+
+    for w in SUITE:
+        register_scenario(
+            ScenarioSpec(
+                name=w.name,
+                kind="workload",
+                params={"workload": w.name},
+                description=w.description,
+            )
+        )
+    register_scenario(
+        ScenarioSpec(
+            name="zipf-hot",
+            kind="zipf",
+            params={"alpha": 1.1, "requests_per_client": 4096},
+            description="Skewed Zipf popularity: a small hot set dominates",
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="zipf-uniform",
+            kind="zipf",
+            params={"alpha": 0.4, "requests_per_client": 4096},
+            description="Mild Zipf popularity: close to uniform access",
+        )
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="onoff-bursty",
+            kind="onoff",
+            params={"requests_per_client": 4096, "burst_len": 64, "gap_len": 16},
+            description="On/off bursts over a rotating hot window",
+        )
+    )
+
+
+_register_builtins()

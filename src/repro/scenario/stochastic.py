@@ -1,0 +1,93 @@
+"""Stochastic per-client request-stream generators.
+
+Both generators produce the same artifact the mapping pipeline does —
+``{client_id: int64 chunk-id array}`` in request order, directly
+consumable by :func:`repro.simulator.engine.simulate` — but draw the
+chunks from a popularity model instead of a loop nest.
+
+Determinism: every client's generator is seeded through
+:func:`repro.util.rng.derive_seed` from (seed, kind, client id), so a
+stream depends only on the spec and the seed — never on generation
+order, process boundaries or worker count.  This is what makes the
+exec layer's ``workers=4`` byte-identical to serial for scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = ["zipf_streams", "onoff_streams"]
+
+
+def zipf_streams(
+    num_clients: int,
+    num_chunks: int,
+    requests_per_client: int,
+    alpha: float,
+    seed: int,
+) -> dict[int, np.ndarray]:
+    """Stationary Zipf-popularity streams (icarus's StationaryWorkload).
+
+    Chunk popularity follows ``rank^-alpha`` over a catalog permutation
+    shared by all clients (rank 1 is the *same* chunk for everyone, so
+    clients genuinely contend for the hot set), sampled by inverse-CDF.
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be > 0")
+    catalog = make_rng(derive_seed(seed, "scenario", "zipf", "catalog")).permutation(
+        num_chunks
+    )
+    weights = 1.0 / np.arange(1, num_chunks + 1, dtype=np.float64) ** alpha
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    out: dict[int, np.ndarray] = {}
+    for c in range(num_clients):
+        rng = make_rng(derive_seed(seed, "scenario", "zipf", c))
+        ranks = np.searchsorted(cdf, rng.random(requests_per_client), side="right")
+        out[c] = catalog[ranks].astype(np.int64)
+    return out
+
+
+def onoff_streams(
+    num_clients: int,
+    num_chunks: int,
+    requests_per_client: int,
+    burst_len: int,
+    gap_len: int,
+    hot_chunks: int | None,
+    seed: int,
+) -> dict[int, np.ndarray]:
+    """Bursty on/off streams: hot-window bursts with uniform background.
+
+    Each *on* period draws ``burst_len`` requests from a contiguous hot
+    window of ``hot_chunks`` chunks (placed uniformly per burst); each
+    *off* period draws ``gap_len`` uniform background requests.  With
+    ``hot_chunks=None`` the window defaults to 5 % of the data space.
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be positive")
+    if burst_len < 1 or gap_len < 1:
+        raise ValueError("burst_len and gap_len must be positive")
+    hot = hot_chunks if hot_chunks is not None else max(1, num_chunks // 20)
+    hot = min(hot, num_chunks)
+    out: dict[int, np.ndarray] = {}
+    for c in range(num_clients):
+        rng = make_rng(derive_seed(seed, "scenario", "onoff", c))
+        parts: list[np.ndarray] = []
+        n = 0
+        while n < requests_per_client:
+            start = int(rng.integers(0, num_chunks - hot + 1))
+            take = min(burst_len, requests_per_client - n)
+            parts.append(start + rng.integers(0, hot, size=take))
+            n += take
+            if n >= requests_per_client:
+                break
+            take = min(gap_len, requests_per_client - n)
+            parts.append(rng.integers(0, num_chunks, size=take))
+            n += take
+        out[c] = np.concatenate(parts).astype(np.int64)
+    return out

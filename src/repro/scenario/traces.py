@@ -1,0 +1,164 @@
+"""Trace ingestion: CSV/JSONL access logs → per-client request streams.
+
+The input is the simplest log a storage trace can reduce to — one
+access per line, in per-client request order:
+
+CSV (optional ``client,chunk`` header, optional third ``op`` column)::
+
+    client,chunk,op
+    0,17,r
+    1,4,r
+
+JSONL (one object per line, extra keys ignored)::
+
+    {"client": 0, "chunk": 17}
+    {"client": 1, "chunk": 4, "op": "r"}
+
+Client ids must be contiguous ``0..k-1`` (the simulation engine's
+stream contract).  Malformed lines raise :class:`TraceFormatError`
+carrying ``path:lineno`` so a bad line in a million-line log is
+findable.  :func:`trace_sha256` pins the file content into scenario
+fingerprints — editing a trace changes every key derived from it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+
+__all__ = [
+    "TraceFormatError",
+    "ingest_trace",
+    "export_trace_csv",
+    "export_trace_jsonl",
+    "trace_sha256",
+]
+
+
+class TraceFormatError(ValueError):
+    """A malformed trace file; the message pinpoints ``path:lineno``."""
+
+
+def _infer_format(path: pathlib.Path) -> str:
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return "csv"
+    if suffix in (".jsonl", ".ndjson"):
+        return "jsonl"
+    raise TraceFormatError(
+        f"{path}: cannot infer trace format from suffix {suffix!r}; "
+        "pass format='csv' or 'jsonl'"
+    )
+
+
+def _parse_csv_line(path, lineno: int, line: str) -> tuple[int, int] | None:
+    fields = [f.strip() for f in line.split(",")]
+    if lineno == 1 and fields[:2] == ["client", "chunk"]:
+        return None  # header
+    if len(fields) not in (2, 3):
+        raise TraceFormatError(
+            f"{path}:{lineno}: expected 'client,chunk[,op]', got {line!r}"
+        )
+    try:
+        client, chunk = int(fields[0]), int(fields[1])
+    except ValueError:
+        raise TraceFormatError(
+            f"{path}:{lineno}: client and chunk must be integers, got {line!r}"
+        ) from None
+    return client, chunk
+
+
+def _parse_jsonl_line(path, lineno: int, line: str) -> tuple[int, int]:
+    try:
+        doc = json.loads(line)
+    except ValueError:
+        raise TraceFormatError(f"{path}:{lineno}: invalid JSON: {line!r}") from None
+    if not isinstance(doc, dict):
+        raise TraceFormatError(f"{path}:{lineno}: each line must be an object")
+    try:
+        client, chunk = doc["client"], doc["chunk"]
+    except KeyError as exc:
+        raise TraceFormatError(
+            f"{path}:{lineno}: missing key {exc.args[0]!r}"
+        ) from None
+    if not isinstance(client, int) or not isinstance(chunk, int) or isinstance(
+        client, bool
+    ) or isinstance(chunk, bool):
+        raise TraceFormatError(
+            f"{path}:{lineno}: 'client' and 'chunk' must be integers"
+        )
+    return client, chunk
+
+
+def ingest_trace(
+    path: str | pathlib.Path, fmt: str | None = None
+) -> dict[int, np.ndarray]:
+    """Parse an access log into per-client streams.
+
+    Returns ``{client_id: int64 chunk array}`` preserving each client's
+    request order (the order different clients interleave in the file
+    does not matter — the engine interleaves streams round-robin).
+    """
+    p = pathlib.Path(path)
+    fmt = fmt or _infer_format(p)
+    if fmt not in ("csv", "jsonl"):
+        raise TraceFormatError(f"{p}: unknown trace format {fmt!r}")
+    parse = _parse_csv_line if fmt == "csv" else _parse_jsonl_line
+    per_client: dict[int, list[int]] = {}
+    with p.open("r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            parsed = parse(p, lineno, line)
+            if parsed is None:
+                continue
+            client, chunk = parsed
+            if client < 0 or chunk < 0:
+                raise TraceFormatError(
+                    f"{p}:{lineno}: client and chunk must be non-negative"
+                )
+            per_client.setdefault(client, []).append(chunk)
+    if not per_client:
+        raise TraceFormatError(f"{p}: trace contains no accesses")
+    ids = sorted(per_client)
+    if ids != list(range(len(ids))):
+        raise TraceFormatError(
+            f"{p}: client ids must be contiguous 0..k-1, got {ids}"
+        )
+    return {c: np.asarray(v, dtype=np.int64) for c, v in per_client.items()}
+
+
+def export_trace_csv(
+    streams: dict[int, np.ndarray], path: str | pathlib.Path
+) -> None:
+    """Write streams as a ``client,chunk`` CSV (round-trip inverse)."""
+    p = pathlib.Path(path)
+    with p.open("w", encoding="utf-8") as f:
+        f.write("client,chunk\n")
+        for client in sorted(streams):
+            for chunk in streams[client].tolist():
+                f.write(f"{client},{chunk}\n")
+
+
+def export_trace_jsonl(
+    streams: dict[int, np.ndarray], path: str | pathlib.Path
+) -> None:
+    """Write streams as JSONL (round-trip inverse of :func:`ingest_trace`)."""
+    p = pathlib.Path(path)
+    with p.open("w", encoding="utf-8") as f:
+        for client in sorted(streams):
+            for chunk in streams[client].tolist():
+                f.write(json.dumps({"client": client, "chunk": chunk}) + "\n")
+
+
+def trace_sha256(path: str | pathlib.Path) -> str:
+    """Hex SHA-256 of the trace file content."""
+    h = hashlib.sha256()
+    with pathlib.Path(path).open("rb") as f:
+        for block in iter(lambda: f.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()

@@ -165,13 +165,16 @@ class ServeClient:
 
     def experiment(
         self,
-        workload: str,
-        version: str,
+        workload: str = "",
+        version: str = "",
         scale: int = 0,
         config: Mapping[str, Any] | None = None,
         engine: Mapping[str, Any] | None = None,
+        scenario: str | Mapping[str, Any] | None = None,
     ) -> ServeResponse:
-        body = encode_doc(request_doc(workload, version, scale, config, engine))
+        body = encode_doc(
+            request_doc(workload, version, scale, config, engine, scenario)
+        )
         return _build_response(*self._request("POST", "/v1/experiment", body))
 
     def health(self) -> dict[str, Any]:
@@ -242,13 +245,16 @@ class AsyncServeClient:
 
     async def experiment(
         self,
-        workload: str,
-        version: str,
+        workload: str = "",
+        version: str = "",
         scale: int = 0,
         config: Mapping[str, Any] | None = None,
         engine: Mapping[str, Any] | None = None,
+        scenario: str | Mapping[str, Any] | None = None,
     ) -> ServeResponse:
-        body = encode_doc(request_doc(workload, version, scale, config, engine))
+        body = encode_doc(
+            request_doc(workload, version, scale, config, engine, scenario)
+        )
         return _build_response(
             *await self._request("POST", "/v1/experiment", body)
         )

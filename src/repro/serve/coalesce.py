@@ -195,7 +195,14 @@ class Coalescer:
         reg = get_registry()
         collect = reg.enabled
         payloads = [
-            task_payload(t.workload, t.config, t.version, t.engine_dict(), collect)
+            task_payload(
+                t.workload,
+                t.config,
+                t.version,
+                t.engine_dict(),
+                collect,
+                scenario=t.scenario_dict(),
+            )
             for t in tasks
         ]
         outs = self.executor.run_payloads(payloads)

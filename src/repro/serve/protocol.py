@@ -8,6 +8,14 @@ trace artifacts, run manifests and result-store keys already share, so
 a request names precisely the cache entry it would hit; ``scale`` is
 the CLI's ``--scale`` shorthand for a scaled default config.
 
+Protocol v2 adds the optional ``scenario`` field: a registered
+scenario name (string) or an inline spec document
+(:func:`repro.scenario.spec.spec_from_dict`).  A scenario request may
+omit ``workload``/``version`` — they derive from the spec — and its
+key folds the resolved spec fingerprint into the engine options, so
+the server's cache distinguishes scenarios exactly as the local exec
+layer does.  v1 request bodies remain valid.
+
 Documents are self-describing (``record`` + ``protocol_version``), and
 responses carry **no per-request fields** (no timings, no cache/
 coalesce flags — those travel as HTTP headers): identical requests get
@@ -40,7 +48,8 @@ __all__ = [
 ]
 
 #: Bump when the request/response layout changes; servers reject newer.
-PROTOCOL_VERSION = 1
+#: v2: optional ``scenario`` request field (name or inline spec).
+PROTOCOL_VERSION = 2
 
 REQUEST_RECORD = "repro-serve-request"
 RESPONSE_RECORD = "repro-serve-response"
@@ -53,6 +62,7 @@ ERROR_STATUS = {
     "unsupported_protocol": 400,
     "unknown_workload": 400,
     "unknown_version": 400,
+    "unknown_scenario": 400,
     "not_found": 404,
     "method_not_allowed": 405,
     "payload_too_large": 413,
@@ -88,19 +98,23 @@ class MappingRequest:
     ``config`` (a fingerprint dict) wins over ``scale``; with neither
     the server's default config applies.  ``engine`` carries extra
     simulation options exactly as the exec layer takes them
-    (e.g. ``sync_counts``).
+    (e.g. ``sync_counts``).  ``scenario`` (v2) is a registered name or
+    an inline spec document; when set, ``workload``/``version`` derive
+    from the spec (an explicit ``version`` still overrides for
+    workload-kind scenarios).
     """
 
-    workload: str
-    version: str
+    workload: str = ""
+    version: str = ""
     scale: int = 0
     config: Mapping[str, Any] | None = None
     engine: Mapping[str, Any] = field(default_factory=dict)
+    scenario: str | Mapping[str, Any] | None = None
 
     def resolve_config(self):
         """The :class:`SystemConfig` this request names."""
         from repro.experiments.config import DEFAULT_CONFIG, scaled_config
-        from repro.trace.replay import config_from_fingerprint
+        from repro.util.fingerprint import config_from_fingerprint
 
         if self.config is not None:
             return config_from_fingerprint(dict(self.config))
@@ -108,7 +122,25 @@ class MappingRequest:
             return scaled_config(self.scale)
         return DEFAULT_CONFIG
 
+    def _scenario_identity(self):
+        """(workload, version, config, scenario fingerprint) for v2."""
+        from repro.scenario.registry import resolve_scenario
+        from repro.scenario.runner import effective_config, scenario_identity
+
+        spec = resolve_scenario(self.scenario)
+        workload, version, fingerprint = scenario_identity(
+            spec, self.version or None
+        )
+        return workload, version, effective_config(
+            spec, self.resolve_config()
+        ), fingerprint
+
     def to_key(self) -> ExperimentKey:
+        if self.scenario is not None:
+            workload, version, config, fingerprint = self._scenario_identity()
+            return experiment_key(
+                workload, config, version, self.engine, scenario=fingerprint
+            )
         return experiment_key(
             self.workload, self.resolve_config(), self.version, self.engine
         )
@@ -116,7 +148,20 @@ class MappingRequest:
     def to_task(self):
         """The :class:`~repro.exec.plan.ExperimentTask` to execute."""
         from repro.exec.plan import ExperimentTask
+        from repro.util.fingerprint import canonical_json
 
+        if self.scenario is not None:
+            workload, version, config, fingerprint = self._scenario_identity()
+            return ExperimentTask(
+                key=experiment_key(
+                    workload, config, version, self.engine, scenario=fingerprint
+                ),
+                workload=workload,
+                config=config,
+                version=version,
+                engine=tuple(sorted(dict(self.engine).items())),
+                scenario=canonical_json(fingerprint) if fingerprint else "",
+            )
         return ExperimentTask(
             key=self.to_key(),
             workload=self.workload,
@@ -130,10 +175,33 @@ def _bad(message: str) -> ProtocolError:
     return ProtocolError("bad_request", message)
 
 
+def _parse_scenario(ref: Any):
+    """Validate the v2 ``scenario`` field; returns the normalised ref."""
+    from repro.scenario.registry import get_scenario, scenario_names
+    from repro.scenario.spec import spec_from_dict
+
+    if isinstance(ref, str):
+        try:
+            get_scenario(ref)
+        except KeyError:
+            raise ProtocolError(
+                "unknown_scenario",
+                f"unknown scenario {ref!r}; choose from {scenario_names()}",
+            ) from None
+        return ref
+    if isinstance(ref, dict):
+        try:
+            spec_from_dict(ref)
+        except ValueError as exc:
+            raise _bad(f"scenario spec is invalid ({exc})") from None
+        return ref
+    raise _bad("scenario must be a registered name or a spec object")
+
+
 def parse_request(body: bytes) -> MappingRequest:
     """Parse and validate one request body; raises :class:`ProtocolError`."""
     from repro.simulator.runner import VERSIONS
-    from repro.trace.replay import config_from_fingerprint
+    from repro.util.fingerprint import config_from_fingerprint
     from repro.workloads.suite import workload_names
 
     try:
@@ -153,18 +221,23 @@ def parse_request(body: bytes) -> MappingRequest:
             f"protocol v{version} is newer than this server's "
             f"v{PROTOCOL_VERSION}",
         )
+    scenario = doc.get("scenario")
+    if scenario is not None:
+        scenario = _parse_scenario(scenario)
     workload = doc.get("workload")
-    if not isinstance(workload, str) or not workload:
-        raise _bad("workload must be a non-empty string")
-    if workload not in workload_names():
-        raise ProtocolError(
-            "unknown_workload",
-            f"unknown workload {workload!r}; choose from {workload_names()}",
-        )
+    if scenario is None:
+        if not isinstance(workload, str) or not workload:
+            raise _bad("workload must be a non-empty string")
+        if workload not in workload_names():
+            raise ProtocolError(
+                "unknown_workload",
+                f"unknown workload {workload!r}; choose from {workload_names()}",
+            )
     mapper = doc.get("version")
-    if not isinstance(mapper, str) or not mapper:
-        raise _bad("version must be a non-empty string")
-    if mapper not in VERSIONS:
+    if scenario is None:
+        if not isinstance(mapper, str) or not mapper:
+            raise _bad("version must be a non-empty string")
+    if mapper is not None and mapper != "" and mapper not in VERSIONS:
         raise ProtocolError(
             "unknown_version",
             f"unknown version {mapper!r}; choose from {list(VERSIONS)}",
@@ -184,23 +257,25 @@ def parse_request(body: bytes) -> MappingRequest:
     if not isinstance(engine, dict):
         raise _bad("engine must be an object")
     return MappingRequest(
-        workload=workload,
-        version=mapper,
+        workload=workload or "",
+        version=mapper or "",
         scale=scale,
         config=config,
         engine=engine,
+        scenario=scenario,
     )
 
 
 def request_doc(
-    workload: str,
-    version: str,
+    workload: str = "",
+    version: str = "",
     scale: int = 0,
     config: Mapping[str, Any] | None = None,
     engine: Mapping[str, Any] | None = None,
+    scenario: str | Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build the request body :func:`parse_request` accepts (client side)."""
-    return {
+    doc = {
         "record": REQUEST_RECORD,
         "protocol_version": PROTOCOL_VERSION,
         "workload": workload,
@@ -209,6 +284,11 @@ def request_doc(
         "config": dict(config) if config is not None else None,
         "engine": dict(engine or {}),
     }
+    if scenario is not None:
+        doc["scenario"] = (
+            scenario if isinstance(scenario, str) else dict(scenario)
+        )
+    return doc
 
 
 def response_doc(key: ExperimentKey, result: dict[str, Any]) -> dict[str, Any]:

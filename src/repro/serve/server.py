@@ -433,8 +433,15 @@ class MappingServer:
                 scale=self.default_scale,
                 config=None,
                 engine=mapping.engine,
+                scenario=mapping.scenario,
             )
-        task = mapping.to_task()
+        try:
+            task = mapping.to_task()
+        except ProtocolError:
+            raise
+        except (ValueError, KeyError, OSError) as exc:
+            # e.g. a scenario naming a trace file the server cannot read.
+            raise ProtocolError("bad_request", f"cannot build task: {exc}") from exc
         reg = get_registry()
         self._active += 1
         reg.gauge("serve.queue_depth").set(self._active)

@@ -94,7 +94,7 @@ def build_manifest(
     fingerprint = None
     seed = None
     if config is not None:
-        from repro.trace.replay import config_fingerprint
+        from repro.util.fingerprint import config_fingerprint
 
         fingerprint = config_fingerprint(config)
         seed = config.seed

@@ -28,8 +28,8 @@ from repro.experiments.config import DEFAULT_CONFIG, SystemConfig
 from repro.simulator.engine import LatencyModel, simulate
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.runner import prepare_experiment
-from repro.storage.disk import DiskParameters
 from repro.storage.filesystem import ParallelFileSystem
+from repro.util.fingerprint import config_fingerprint, config_from_fingerprint
 from repro.workloads.suite import get_workload
 
 __all__ = [
@@ -111,79 +111,10 @@ def record(
 # -- (de)serialisation --------------------------------------------------------------
 
 
-def config_fingerprint(config: SystemConfig) -> dict:
-    """A JSON-safe fingerprint of a config.
-
-    The canonical serialisation shared by trace artifacts, telemetry
-    run manifests and the :mod:`repro.exec` experiment keys, so the
-    artifact families stay comparable.
-    """
-    return _config_to_dict(config)
-
-
-def config_from_fingerprint(d: dict) -> SystemConfig:
-    """Rebuild a :class:`SystemConfig` from :func:`config_fingerprint` output.
-
-    The inverse serialisation: process-pool workers ship configs across
-    process boundaries as fingerprints and reconstitute them here.
-    """
-    return _config_from_dict(d)
-
-
-def _config_to_dict(config: SystemConfig) -> dict:
-    return {
-        "num_clients": config.num_clients,
-        "num_io_nodes": config.num_io_nodes,
-        "num_storage_nodes": config.num_storage_nodes,
-        "chunk_elems": config.chunk_elems,
-        "cache_elems": list(config.cache_elems),
-        "policy": config.policy,
-        "balance_threshold": config.balance_threshold,
-        "alpha": config.alpha,
-        "beta": config.beta,
-        "data_elems": config.data_elems,
-        "seed": config.seed,
-        "prefetch_degree": config.prefetch_degree,
-        "writeback": config.writeback,
-        "latency": {
-            "level_ms": list(config.latency.level_ms),
-            "sync_stall_ms": config.latency.sync_stall_ms,
-            "compute_ms_per_iteration": config.latency.compute_ms_per_iteration,
-        },
-        "disk": {
-            "rpm": config.disk.rpm,
-            "avg_seek_ms": config.disk.avg_seek_ms,
-            "transfer_mb_per_s": config.disk.transfer_mb_per_s,
-            "capacity_gb": config.disk.capacity_gb,
-            "sequential_discount": config.disk.sequential_discount,
-        },
-    }
-
-
-def _config_from_dict(d: dict) -> SystemConfig:
-    latency = d.get("latency") or {}
-    disk = d.get("disk") or {}
-    return SystemConfig(
-        num_clients=d["num_clients"],
-        num_io_nodes=d["num_io_nodes"],
-        num_storage_nodes=d["num_storage_nodes"],
-        chunk_elems=d["chunk_elems"],
-        cache_elems=tuple(d["cache_elems"]),
-        policy=d["policy"],
-        balance_threshold=d["balance_threshold"],
-        alpha=d["alpha"],
-        beta=d["beta"],
-        data_elems=d["data_elems"],
-        seed=d["seed"],
-        prefetch_degree=d["prefetch_degree"],
-        writeback=d["writeback"],
-        latency=LatencyModel(
-            level_ms=tuple(latency["level_ms"]),
-            sync_stall_ms=latency["sync_stall_ms"],
-            compute_ms_per_iteration=latency["compute_ms_per_iteration"],
-        ),
-        disk=DiskParameters(**disk),
-    )
+# The canonical (de)serialisation lives in repro.util.fingerprint; these
+# re-exports keep the trace module's historical import surface working.
+_config_to_dict = config_fingerprint
+_config_from_dict = config_from_fingerprint
 
 
 def save_artifact(path: str | pathlib.Path, artifact: TraceArtifact) -> None:

@@ -1,0 +1,168 @@
+"""The canonical experiment-identity serialisations, in one place.
+
+Four artifact families need to agree on what "the same experiment"
+means: trace artifacts (:mod:`repro.trace.replay`), telemetry run
+manifests (:mod:`repro.telemetry.manifest`), the exec layer's cached
+results (:mod:`repro.exec.keys`) and the serve wire protocol
+(:mod:`repro.serve.protocol`).  Historically each assembled the
+(config, engine) identity itself from a shared config serialiser; as
+fields arrive (per-level replacement policies, scenario specs) that
+assembly drift becomes a silent cache-aliasing hazard — two different
+experiments hashing to one digest, or one experiment hashing to two.
+
+This module is now the only place the identity is built:
+
+* :func:`config_fingerprint` / :func:`config_from_fingerprint` — the
+  JSON-safe :class:`~repro.experiments.config.SystemConfig` round trip;
+* :func:`engine_options` — canonicalised extra simulation options
+  (``sync_counts``, a scenario fingerprint, …), JSON-round-tripped so
+  int and str keys cannot alias;
+* :func:`experiment_identity` — the full (workload, version, config,
+  engine) document every consumer derives keys and payloads from;
+* :func:`canonical_json` — the one true byte encoding (sorted keys, no
+  whitespace).
+
+Imports of the config classes happen lazily so this stays a leaf
+module importable from anywhere in the package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import SystemConfig
+
+__all__ = [
+    "canonical_json",
+    "config_fingerprint",
+    "config_from_fingerprint",
+    "engine_options",
+    "experiment_identity",
+]
+
+
+def canonical_json(doc: Any) -> str:
+    """Canonical JSON encoding: sorted keys, no whitespace."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: "SystemConfig") -> dict:
+    """A JSON-safe fingerprint of a config.
+
+    The canonical serialisation shared by trace artifacts, telemetry
+    run manifests, :mod:`repro.exec` experiment keys and the serve
+    protocol, so the artifact families stay comparable.
+    """
+    return {
+        "num_clients": config.num_clients,
+        "num_io_nodes": config.num_io_nodes,
+        "num_storage_nodes": config.num_storage_nodes,
+        "chunk_elems": config.chunk_elems,
+        "cache_elems": list(config.cache_elems),
+        "policy": config.policy,
+        "policies": list(config.policies) if config.policies else None,
+        "balance_threshold": config.balance_threshold,
+        "alpha": config.alpha,
+        "beta": config.beta,
+        "data_elems": config.data_elems,
+        "seed": config.seed,
+        "prefetch_degree": config.prefetch_degree,
+        "writeback": config.writeback,
+        "latency": {
+            "level_ms": list(config.latency.level_ms),
+            "sync_stall_ms": config.latency.sync_stall_ms,
+            "compute_ms_per_iteration": config.latency.compute_ms_per_iteration,
+        },
+        "disk": {
+            "rpm": config.disk.rpm,
+            "avg_seek_ms": config.disk.avg_seek_ms,
+            "transfer_mb_per_s": config.disk.transfer_mb_per_s,
+            "capacity_gb": config.disk.capacity_gb,
+            "sequential_discount": config.disk.sequential_discount,
+        },
+    }
+
+
+def config_from_fingerprint(d: Mapping[str, Any]) -> "SystemConfig":
+    """Rebuild a :class:`SystemConfig` from :func:`config_fingerprint` output.
+
+    The inverse serialisation: process-pool workers and serve requests
+    ship configs across process boundaries as fingerprints and
+    reconstitute them here.  Fingerprints written before the
+    ``policies`` field existed load with ``policies=None``.
+    """
+    from repro.experiments.config import SystemConfig
+    from repro.simulator.engine import LatencyModel
+    from repro.storage.disk import DiskParameters
+
+    latency = d.get("latency") or {}
+    disk = d.get("disk") or {}
+    policies = d.get("policies")
+    return SystemConfig(
+        num_clients=d["num_clients"],
+        num_io_nodes=d["num_io_nodes"],
+        num_storage_nodes=d["num_storage_nodes"],
+        chunk_elems=d["chunk_elems"],
+        cache_elems=tuple(d["cache_elems"]),
+        policy=d["policy"],
+        policies=tuple(policies) if policies else None,
+        balance_threshold=d["balance_threshold"],
+        alpha=d["alpha"],
+        beta=d["beta"],
+        data_elems=d["data_elems"],
+        seed=d["seed"],
+        prefetch_degree=d["prefetch_degree"],
+        writeback=d["writeback"],
+        latency=LatencyModel(
+            level_ms=tuple(latency["level_ms"]),
+            sync_stall_ms=latency["sync_stall_ms"],
+            compute_ms_per_iteration=latency["compute_ms_per_iteration"],
+        ),
+        disk=DiskParameters(**disk),
+    )
+
+
+def engine_options(
+    engine: Mapping[str, Any] | None = None,
+    scenario: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Canonicalise extra simulation options into one JSON-safe dict.
+
+    The JSON round trip normalises key types (``{0: 2}`` and
+    ``{"0": 2}`` become the same document) so equivalent options can
+    never hash to different keys.  A scenario fingerprint folds in
+    under the reserved ``"scenario"`` key, which is how two scenarios
+    differing only in spec map to distinct
+    :class:`~repro.exec.keys.ExperimentKey` digests.
+    """
+    doc: dict[str, Any] = json.loads(canonical_json(dict(engine or {})))
+    if scenario is not None:
+        doc["scenario"] = json.loads(canonical_json(dict(scenario)))
+    return doc
+
+
+def experiment_identity(
+    workload: str,
+    version: str,
+    config: "SystemConfig | Mapping[str, Any]",
+    engine: Mapping[str, Any] | None = None,
+    scenario: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The canonical (workload, version, config, engine) identity doc.
+
+    ``config`` may be a :class:`SystemConfig` or an already-serialised
+    fingerprint.  Exec keys hash exactly this document; task payloads
+    and serve requests carry it verbatim, so all three can never
+    disagree about which cache entry an experiment names.
+    """
+    fingerprint = (
+        dict(config) if isinstance(config, Mapping) else config_fingerprint(config)
+    )
+    return {
+        "workload": workload,
+        "version": version,
+        "config": fingerprint,
+        "engine": engine_options(engine, scenario),
+    }

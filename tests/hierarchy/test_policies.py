@@ -11,9 +11,9 @@ from repro.hierarchy.policies import (
 )
 
 
-@pytest.fixture(params=["lru", "fifo", "clock"])
+@pytest.fixture(params=["lru", "fifo", "clock", "lfu", "mq", "rrip", "arc"])
 def policy(request):
-    return make_policy(request.param)
+    return make_policy(request.param, capacity=16)
 
 
 class TestCommonBehaviour:

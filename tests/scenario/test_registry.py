@@ -1,0 +1,73 @@
+"""Scenario registry: builtins, registration rules, resolution."""
+
+import pytest
+
+from repro.scenario.registry import (
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+from repro.scenario.spec import ScenarioSpec, spec_to_dict
+from repro.workloads.suite import workload_names
+
+
+class TestBuiltins:
+    def test_all_paper_workloads_registered(self):
+        names = scenario_names()
+        for w in workload_names():
+            assert w in names, f"paper workload {w} missing from registry"
+
+    def test_stock_generators_registered(self):
+        names = scenario_names()
+        assert "zipf-hot" in names
+        assert "zipf-uniform" in names
+        assert "onoff-bursty" in names
+
+    def test_builtins_deep_validate(self):
+        for name in scenario_names():
+            get_scenario(name).deep_validate()
+
+    def test_get_unknown_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="zipf-hot"):
+            get_scenario("definitely-not-registered")
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(get_scenario("zipf-hot"))
+
+    def test_decorator_on_factory(self):
+        @register_scenario
+        def _tmp_scenario():
+            return ScenarioSpec(
+                name="tmp-factory-scenario",
+                kind="zipf",
+                params={"alpha": 1.0},
+            )
+
+        try:
+            assert get_scenario("tmp-factory-scenario").kind == "zipf"
+        finally:
+            # keep the module-level registry clean for other tests
+            from repro.scenario import registry
+
+            registry._REGISTRY.pop("tmp-factory-scenario", None)
+
+
+class TestResolve:
+    def test_resolve_name(self):
+        assert resolve_scenario("zipf-hot") is get_scenario("zipf-hot")
+
+    def test_resolve_spec_passthrough(self):
+        spec = get_scenario("zipf-hot")
+        assert resolve_scenario(spec) is spec
+
+    def test_resolve_mapping(self):
+        doc = spec_to_dict(get_scenario("zipf-hot"))
+        assert resolve_scenario(doc) == get_scenario("zipf-hot")
+
+    def test_resolve_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            resolve_scenario(42)

@@ -1,0 +1,115 @@
+"""Trace ingestion: format round-trips, content pinning, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.scenario.stochastic import zipf_streams
+from repro.scenario.traces import (
+    TraceFormatError,
+    export_trace_csv,
+    export_trace_jsonl,
+    ingest_trace,
+    trace_sha256,
+)
+
+
+@pytest.fixture
+def streams():
+    return zipf_streams(
+        num_clients=3, num_chunks=64, requests_per_client=40, alpha=1.1, seed=7
+    )
+
+
+def assert_streams_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for client in a:
+        np.testing.assert_array_equal(a[client], b[client])
+
+
+class TestRoundTrip:
+    def test_csv_round_trip(self, streams, tmp_path):
+        path = tmp_path / "t.csv"
+        export_trace_csv(streams, path)
+        assert_streams_equal(ingest_trace(path), streams)
+
+    def test_jsonl_round_trip(self, streams, tmp_path):
+        path = tmp_path / "t.jsonl"
+        export_trace_jsonl(streams, path)
+        assert_streams_equal(ingest_trace(path), streams)
+
+    def test_cross_format_agreement(self, streams, tmp_path):
+        csv_p, jsonl_p = tmp_path / "t.csv", tmp_path / "t.jsonl"
+        export_trace_csv(streams, csv_p)
+        export_trace_jsonl(streams, jsonl_p)
+        assert_streams_equal(ingest_trace(csv_p), ingest_trace(jsonl_p))
+
+    def test_format_inferred_from_suffix(self, streams, tmp_path):
+        path = tmp_path / "t.ndjson"
+        export_trace_jsonl(streams, path)
+        assert_streams_equal(ingest_trace(path), streams)
+
+    def test_explicit_format_overrides_suffix(self, streams, tmp_path):
+        path = tmp_path / "t.dat"
+        export_trace_csv(streams, path)
+        with pytest.raises(TraceFormatError):
+            ingest_trace(path)  # no inferable suffix
+        assert_streams_equal(ingest_trace(path, "csv"), streams)
+
+    def test_sha256_tracks_content(self, streams, tmp_path):
+        path = tmp_path / "t.csv"
+        export_trace_csv(streams, path)
+        before = trace_sha256(path)
+        with open(path, "a") as fh:
+            fh.write("0,1\n")
+        assert trace_sha256(path) != before
+
+
+class TestMalformedLines:
+    def test_csv_bad_field_reports_path_and_lineno(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("client,chunk\n0,1\n0,notanint\n")
+        with pytest.raises(TraceFormatError) as err:
+            ingest_trace(path)
+        assert f"{path}:3" in str(err.value)
+
+    def test_csv_wrong_arity_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,1\n0\n")
+        with pytest.raises(TraceFormatError, match=r"bad\.csv:2"):
+            ingest_trace(path)
+
+    def test_jsonl_invalid_json_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"client": 0, "chunk": 1}\n{oops\n')
+        with pytest.raises(TraceFormatError, match=r"bad\.jsonl:2"):
+            ingest_trace(path)
+
+    def test_jsonl_missing_key_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"client": 0}\n')
+        with pytest.raises(TraceFormatError, match=r"bad\.jsonl:1"):
+            ingest_trace(path)
+
+    def test_jsonl_bool_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"client": true, "chunk": 1}\n')
+        with pytest.raises(TraceFormatError, match=r"bad\.jsonl:1"):
+            ingest_trace(path)
+
+    def test_negative_ids_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,-5\n")
+        with pytest.raises(TraceFormatError, match=r"bad\.csv:1"):
+            ingest_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("client,chunk\n")
+        with pytest.raises(TraceFormatError):
+            ingest_trace(path)
+
+    def test_noncontiguous_clients_rejected(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text("0,1\n2,1\n")  # client 1 missing
+        with pytest.raises(TraceFormatError, match="contiguous"):
+            ingest_trace(path)
