@@ -1,0 +1,107 @@
+"""Perf-regression gate: a fresh scenario benchmark vs. the pinned one.
+
+Compares a freshly generated ``bench_scenarios.py`` document against
+the committed ``BENCH_scenarios.json`` baseline, cell by cell
+(matched on ``(scenario, policies)``):
+
+* **digests must match exactly** — a changed digest is a determinism
+  break, not a slowdown, and always fails;
+* **wall time gets a generous gate** — CI machines are noisy, so only
+  order-of-magnitude regressions fail: a cell must be both
+  ``--tolerance`` times slower than the baseline *and* slower than the
+  ``--floor`` in absolute seconds (sub-floor cells never fail on time).
+
+Exit code 0 when everything holds, 1 with a per-cell report otherwise::
+
+    python benchmarks/bench_scenarios.py -o fresh.json
+    python benchmarks/check_bench_regression.py BENCH_scenarios.json fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+
+def _cells(doc: dict[str, Any]) -> dict[tuple[str, str], dict[str, Any]]:
+    """Index rows by (scenario, canonicalised policies)."""
+    return {
+        (row["scenario"], json.dumps(row["policies"])): row
+        for row in doc.get("rows", [])
+    }
+
+
+def compare(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    tolerance: float,
+    floor_s: float,
+) -> list[str]:
+    """Every gate violation as a human-readable line (empty = pass)."""
+    problems: list[str] = []
+    base_cells, fresh_cells = _cells(baseline), _cells(fresh)
+    for key in base_cells.keys() - fresh_cells.keys():
+        problems.append(f"cell {key} missing from the fresh run")
+    for key in fresh_cells.keys() - base_cells.keys():
+        problems.append(f"cell {key} not in the baseline (re-pin it?)")
+    for key in sorted(base_cells.keys() & fresh_cells.keys()):
+        base, now = base_cells[key], fresh_cells[key]
+        name = f"{key[0]} / {base['policies'] or 'default'}"
+        if base["digest"] != now["digest"]:
+            problems.append(
+                f"{name}: DIGEST CHANGED {base['digest'][:12]} -> "
+                f"{now['digest'][:12]} (determinism failure)"
+            )
+        base_s, now_s = float(base["seconds"]), float(now["seconds"])
+        if now_s > floor_s and now_s > base_s * tolerance:
+            problems.append(
+                f"{name}: {now_s:.3f}s vs baseline {base_s:.3f}s "
+                f"(> {tolerance:g}x and > {floor_s:g}s floor)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_scenarios.json")
+    parser.add_argument("fresh", help="freshly generated benchmark document")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        help="max allowed seconds ratio vs baseline (default 10x)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1.0,
+        help="absolute seconds below which a cell never fails (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    for doc, path in ((baseline, args.baseline), (fresh, args.fresh)):
+        if doc.get("record") != "repro-bench-scenarios":
+            print(f"{path}: not a repro-bench-scenarios document")
+            return 1
+
+    problems = compare(baseline, fresh, args.tolerance, args.floor)
+    checked = len(_cells(baseline))
+    if problems:
+        print(f"perf gate FAILED ({len(problems)} problem(s), {checked} cells):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(
+        f"perf gate passed: {checked} cells, digests identical, "
+        f"no cell beyond {args.tolerance:g}x baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

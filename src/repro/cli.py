@@ -21,6 +21,12 @@ and drives the trace and telemetry subsystems:
    $ repro trace record --workload hf -o hf.trace.npz
    $ repro trace replay hf.trace.npz --cache-elems 2048,3072,12288
    $ repro trace diff --workload hf -a original -b inter+sched
+   $ repro table2 --trace spans.jsonl      # one span tree for the run
+   $ repro serve --trace --span-log spans.jsonl
+   $ repro obs spans spans.jsonl
+   $ repro obs slo --url http://127.0.0.1:8080
+   $ repro obs export spans.jsonl -o flame.json   # chrome://tracing
+   $ repro obs tail spans.jsonl -f
 """
 
 from __future__ import annotations
@@ -206,6 +212,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.exec import ExperimentExecutor, MemoryStore, ResultStore
+    from repro.obs import Tracer
     from repro.serve import MappingServer
     from repro.telemetry import MetricsRegistry, declare_pipeline_metrics
 
@@ -217,19 +224,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache) if args.cache else MemoryStore()
     registry = MetricsRegistry()
     declare_pipeline_metrics(registry)
+    tracer = None
+    if args.trace or args.span_log:
+        tracer = Tracer(
+            capacity=args.span_ring, log_path=args.span_log or None
+        )
+        _LOG.info(
+            "span tracing on (ring=%d%s); /debugz has the live view",
+            args.span_ring,
+            f", log={args.span_log}" if args.span_log else "",
+        )
     server = MappingServer(
         host=args.host,
         port=args.port,
         executor=executor,
         store=store,
         registry=registry,
+        tracer=tracer,
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         max_wait_ms=args.batch_wait_ms,
         request_timeout_s=args.request_timeout,
         default_scale=args.scale,
     )
-    return server.serve_forever()
+    try:
+        return server.serve_forever()
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
@@ -239,13 +261,22 @@ def _cmd_request(args: argparse.Namespace) -> int:
 
     client = ServeClient(args.url, timeout=args.timeout)
     scenario = getattr(args, "scenario", "") or None
+    request_id = getattr(args, "request_id", "")
     try:
         if scenario is not None:
-            resp = client.experiment(scale=args.scale, scenario=scenario)
+            resp = client.experiment(
+                scale=args.scale, scenario=scenario, request_id=request_id
+            )
         else:
-            resp = client.experiment(args.workload, args.mapper, scale=args.scale)
+            resp = client.experiment(
+                args.workload,
+                args.mapper,
+                scale=args.scale,
+                request_id=request_id,
+            )
     except ServeError as exc:
-        return _fail(f"{args.url}: {exc}")
+        tag = f" [request {exc.request_id}]" if exc.request_id else ""
+        return _fail(f"{args.url}: {exc}{tag}")
     except OSError as exc:
         return _fail(f"{args.url}: {exc}")
     finally:
@@ -262,7 +293,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
         f"{what} via {args.url} "
         f"({resp.source or 'unknown'}, batch={resp.batch_size})",
     )
-    print(f"  digest: {resp.digest[:12]}")
+    print(f"  digest: {resp.digest[:12]}   request id: {resp.request_id}")
     return 0
 
 
@@ -688,6 +719,152 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- obs commands -------------------------------------------------------------------
+
+
+def _obs_spans_from(args: argparse.Namespace):
+    """Load spans from the positional JSONL path or a server's /debugz."""
+    from repro.obs import Span, read_spans_jsonl
+
+    url = getattr(args, "url", "")
+    if url:
+        from repro.serve import ServeClient
+
+        with ServeClient(url) as client:
+            doc = client.debugz()
+        return [Span.from_dict(d) for d in doc.get("recent", [])]
+    return read_spans_jsonl(args.spans)
+
+
+def _span_attrs_str(attrs: dict) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+
+
+def _render_span_tree(nodes: list, depth: int = 0) -> list[str]:
+    lines = []
+    for node in nodes:
+        s = node["span"]
+        pad = "  " * depth
+        attrs = _span_attrs_str(s.attrs)
+        lines.append(
+            f"  {pad}{s.name:<{max(34 - 2 * depth, len(s.name) + 1)}}"
+            f"{s.elapsed_s * 1e3:10.3f} ms  pid={s.pid}"
+            + (f"  {attrs}" if attrs else "")
+        )
+        lines.extend(_render_span_tree(node["children"], depth + 1))
+    return lines
+
+
+def _cmd_obs_spans(args: argparse.Namespace) -> int:
+    from repro.obs import build_trees
+
+    try:
+        spans = _obs_spans_from(args)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    if args.trace:
+        spans = [s for s in spans if s.trace_id == args.trace]
+    if not spans:
+        print("no spans" + (f" for trace {args.trace}" if args.trace else ""))
+        return 0
+    trees = build_trees(spans)
+    if args.last:
+        trees = trees[-args.last :]
+    for tree in trees:
+        root = tree["span"]
+        print(f"trace {root.trace_id}:")
+        print("\n".join(_render_span_tree([tree])))
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.obs import render_slo, slo_report
+
+    url = getattr(args, "url", "")
+    if url:
+        # The server aggregates over its whole ring; use that directly
+        # rather than the 50-span "recent" window.
+        from repro.serve import ServeClient, ServeError
+
+        try:
+            with ServeClient(url) as client:
+                report = client.debugz().get("slo", {})
+        except (ServeError, OSError) as exc:
+            return _fail(f"{url}: {exc}")
+    else:
+        try:
+            report = slo_report(_obs_spans_from(args), top=args.top)
+        except (OSError, ValueError) as exc:
+            return _fail(str(exc))
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_slo(report))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs import spans_to_chrome, write_chrome_spans
+
+    try:
+        spans = _obs_spans_from(args)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    if args.trace:
+        spans = [s for s in spans if s.trace_id == args.trace]
+    try:
+        write_chrome_spans(args.out, spans, meta={"source": args.spans or "debugz"})
+    except OSError as exc:
+        return _fail(str(exc))
+    n = len(spans_to_chrome(spans)["traceEvents"])
+    _LOG.info("%d spans (%d trace events) -> %s", len(spans), n, args.out)
+    print(f"{len(spans)} spans -> {args.out} (open in chrome://tracing)")
+    return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.obs import Span
+
+    def emit(line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            s = Span.from_dict(json_mod.loads(line))
+        except (ValueError, KeyError, TypeError):
+            return
+        attrs = _span_attrs_str(s.attrs)
+        print(
+            f"{s.start_unix:.6f} {s.trace_id} {s.name:<28}"
+            f"{s.elapsed_s * 1e3:10.3f} ms  pid={s.pid}"
+            + (f"  {attrs}" if attrs else "")
+        )
+
+    try:
+        fh = open(args.spans)
+    except OSError as exc:
+        return _fail(str(exc))
+    with fh:
+        lines = fh.readlines()
+        for line in lines[-args.last :] if args.last else lines:
+            emit(line)
+        if not args.follow:
+            return 0
+        try:
+            while True:
+                line = fh.readline()
+                if line:
+                    emit(line)
+                else:
+                    time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 # -- parser -------------------------------------------------------------------------
 
 
@@ -733,6 +910,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="PATH",
         help="collect metrics/phase timings and write a JSON run manifest here",
+    )
+    telemetry_parent.add_argument(
+        "--trace",
+        default="",
+        metavar="PATH",
+        dest="trace",
+        help="trace the run as one span tree and write span JSONL here "
+        "(view with 'repro obs')",
     )
 
     exec_parent = argparse.ArgumentParser(add_help=False)
@@ -829,6 +1014,24 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="per-request timeout in seconds (default: 300)",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable span tracing (per-request trees on /debugz; off by default)",
+    )
+    p.add_argument(
+        "--span-log",
+        default="",
+        metavar="PATH",
+        help="also append finished spans as JSONL here (implies --trace)",
+    )
+    p.add_argument(
+        "--span-ring",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="in-memory span ring capacity (default: 4096)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -856,6 +1059,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--json", action="store_true", help="print the raw response document"
+    )
+    p.add_argument(
+        "--request-id",
+        default="",
+        metavar="ID",
+        help="supply the correlation id instead of letting the server generate one",
     )
     p.set_defaults(func=_cmd_request)
 
@@ -1012,6 +1221,78 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_trace_diff)
 
+    obs = sub.add_parser(
+        "obs", help="span traces: request trees, SLO report, Chrome export"
+    )
+    osub = obs.add_subparsers(dest="obs_command", required=True, metavar="action")
+    spans_parent = argparse.ArgumentParser(add_help=False)
+    spans_parent.add_argument(
+        "spans",
+        nargs="?",
+        default="",
+        help="span JSONL file (from --trace / --span-log); or use --url",
+    )
+    spans_parent.add_argument(
+        "--url",
+        default="",
+        metavar="URL",
+        help="read spans from a running server's /debugz instead of a file",
+    )
+
+    p = osub.add_parser(
+        "spans",
+        parents=[log_parent, spans_parent],
+        help="render per-request span trees",
+    )
+    p.add_argument(
+        "--trace", default="", metavar="ID", help="only this request id's tree"
+    )
+    p.add_argument(
+        "--last", type=int, default=0, metavar="N", help="only the last N trees"
+    )
+    p.set_defaults(func=_cmd_obs_spans)
+
+    p = osub.add_parser(
+        "slo",
+        parents=[log_parent, spans_parent],
+        help="per-stage p50/p95/p99 latency report",
+    )
+    p.add_argument(
+        "--top", type=int, default=5, metavar="N", help="slowest roots to list"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the report document as JSON"
+    )
+    p.set_defaults(func=_cmd_obs_slo)
+
+    p = osub.add_parser(
+        "export",
+        parents=[log_parent, spans_parent],
+        help="export spans as chrome://tracing JSON",
+    )
+    p.add_argument(
+        "--trace", default="", metavar="ID", help="only this request id's spans"
+    )
+    p.add_argument("-o", "--out", required=True, help="Chrome-trace output path")
+    p.set_defaults(func=_cmd_obs_export)
+
+    p = osub.add_parser(
+        "tail", parents=[log_parent], help="print spans from a span log as lines"
+    )
+    p.add_argument("spans", help="span JSONL log (e.g. serve --span-log)")
+    p.add_argument(
+        "-f", "--follow", action="store_true", help="keep watching for new spans"
+    )
+    p.add_argument(
+        "--last", type=int, default=20, metavar="N",
+        help="existing spans to print first (default: 20; 0 = all)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.5, metavar="S",
+        help="poll interval when following (default: 0.5s)",
+    )
+    p.set_defaults(func=_cmd_obs_tail)
+
     scenario = sub.add_parser(
         "scenario", help="declarative scenarios: registry, generators, traces"
     )
@@ -1104,6 +1385,35 @@ def _run_with_telemetry(args: argparse.Namespace, argv: list[str] | None) -> int
     return status
 
 
+def _run_traced(args: argparse.Namespace, run) -> int:
+    """Wrap a command in one span tree when ``--trace PATH`` was given.
+
+    The whole invocation becomes a single trace rooted at
+    ``cli.<command>`` — the CLI analogue of a serve request id — with
+    the profiler's phases (and any pool workers' repatriated spans)
+    underneath; the finished spans land at PATH as JSONL for
+    ``repro obs``.  (serve's ``--trace`` is a boolean handled by the
+    server itself.)
+    """
+    trace_path = getattr(args, "trace", "")
+    if not trace_path or not isinstance(trace_path, str):
+        return run()
+    from repro.obs import Tracer, new_request_id, span, use_tracer, write_spans_jsonl
+
+    request_id = new_request_id()
+    tracer = Tracer(capacity=65536)
+    with use_tracer(tracer):
+        with span(f"cli.{args.command}", trace_id=request_id):
+            status = run()
+    try:
+        n = write_spans_jsonl(trace_path, tracer.spans())
+    except OSError as exc:
+        return _fail(str(exc))
+    _LOG.info("%d spans for request %s -> %s", n, request_id, trace_path)
+    print(f"  trace: {request_id} ({n} spans) -> {trace_path}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -1114,9 +1424,9 @@ def main(argv: list[str] | None = None) -> int:
     start = time.perf_counter()
     try:
         if getattr(args, "telemetry", ""):
-            status = _run_with_telemetry(args, argv)
+            status = _run_traced(args, lambda: _run_with_telemetry(args, argv))
         else:
-            status = _invoke(args)
+            status = _run_traced(args, lambda: _invoke(args))
     except BrokenPipeError:
         # stdout closed early (e.g. piped into head): exit quietly like a
         # well-behaved filter.  Point stdout at devnull so the interpreter's

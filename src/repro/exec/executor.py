@@ -104,12 +104,48 @@ def _execute_payload(payload: dict[str, Any]):
     )
 
 
+def _execute_traced(payload: dict[str, Any]):
+    """Run a payload under a private tracer when it carries a trace context.
+
+    The payload's ``trace`` entry (``{"trace_id", "parent_id"}``) is the
+    requester's span context; the worker reattaches to it with an
+    explicit-parent ``exec.task`` root span, collects every span the run
+    produces (the profiler's phases become mapper/simulate/store leaves)
+    into a thread-scoped private tracer, and ships them home beside the
+    metrics snapshot — the same piggyback path ``merge_snapshot`` uses.
+    Returns ``(result, span_dicts, task_span_id)``.
+    """
+    from repro.obs.tracer import Tracer, span, thread_tracer
+
+    trace = payload.get("trace")
+    if not trace:
+        return _execute_payload(payload), None, None
+    collector = Tracer(capacity=4096)
+    with thread_tracer(collector):
+        with span(
+            "exec.task",
+            trace_id=trace.get("trace_id"),
+            parent_id=trace.get("parent_id"),
+            workload=payload.get("workload"),
+            version=payload.get("version"),
+        ) as task_span:
+            ctx = task_span.context
+            result = _execute_payload(payload)
+    return (
+        result,
+        [s.as_dict() for s in collector.spans()],
+        ctx.span_id if ctx is not None else None,
+    )
+
+
 def run_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: run one experiment from its payload.
 
     Module-level (not a closure/lambda) so it pickles under both
     ``fork`` and ``spawn`` start methods.  Returns
-    ``{"result": result_to_dict(...), "metrics": registry snapshot | None}``.
+    ``{"result": result_to_dict(...), "metrics": registry snapshot | None,
+    "spans": span dicts | None, "span_id": task root span id | None}``
+    (the latter two only when the payload carries a ``trace`` context).
     """
     from repro.simulator.serialization import result_to_dict
 
@@ -120,11 +156,15 @@ def run_payload(payload: dict[str, Any]) -> dict[str, Any]:
         # collection registry must not shadow what other threads see.
         registry = MetricsRegistry()
         with thread_registry(registry):
-            result = _execute_payload(payload)
+            result, spans, span_id = _execute_traced(payload)
         metrics = registry.as_dict()
     else:
-        result = _execute_payload(payload)
-    return {"result": result_to_dict(result), "metrics": metrics}
+        result, spans, span_id = _execute_traced(payload)
+    out: dict[str, Any] = {"result": result_to_dict(result), "metrics": metrics}
+    if spans is not None:
+        out["spans"] = spans
+        out["span_id"] = span_id
+    return out
 
 
 class SerialExecutor:

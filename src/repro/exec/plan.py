@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 from repro.exec.context import get_execution
 from repro.exec.executor import SerialExecutor, task_payload
 from repro.exec.keys import ExperimentKey, experiment_key
+from repro.obs.tracer import get_tracer, span
 from repro.simulator.metrics import ExperimentResult
 from repro.simulator.serialization import result_from_dict
 from repro.telemetry import get_registry, phase
@@ -137,11 +138,17 @@ def execute_plan(
     ctx = get_execution()
     executor = executor if executor is not None else ctx.executor
     store = store if store is not None else ctx.store
+    tracer = get_tracer()
     tasks = list(plan)
     results: dict[str, ExperimentResult] = {}
     misses: list[ExperimentTask] = []
     for t in tasks:
-        cached = store.get(t.key) if store is not None else None
+        if store is not None:
+            with span("store.get", digest=t.key.digest[:12]) as sp:
+                cached = store.get(t.key)
+                sp.set(hit=cached is not None)
+        else:
+            cached = None
         if cached is not None:
             results[t.key.digest] = cached
         else:
@@ -169,13 +176,28 @@ def execute_plan(
             ex,
         )
         with phase("execute_plan"):
+            if tracer.enabled:
+                # Parent every task's worker-side exec.task span onto the
+                # execute_plan phase span just opened, so the repatriated
+                # spans reattach into this request's tree.
+                from repro.obs.context import current_context
+
+                parent = current_context()
+                for p in payloads:
+                    p["trace"] = {
+                        "trace_id": parent.trace_id if parent else None,
+                        "parent_id": parent.span_id if parent else None,
+                    }
             outs = ex.run_payloads(payloads)
         for t, out in zip(misses, outs):
             if collect and out.get("metrics"):
                 reg.merge_snapshot(out["metrics"])
+            if out.get("spans"):
+                tracer.ingest(out["spans"])
             result = result_from_dict(out["result"])
             if store is not None:
-                store.put(t.key, result)
+                with span("store.put", digest=t.key.digest[:12]):
+                    store.put(t.key, result)
             results[t.key.digest] = result
     return results
 

@@ -1,0 +1,118 @@
+"""Span exports: JSONL round-trip and Chrome-trace flamegraphs.
+
+The JSONL form (one ``Span.as_dict()`` document per line) is both the
+tracer's live log format and the interchange format ``repro obs``
+commands consume, so a span log written by ``repro serve --span-log``
+reads back with :func:`read_spans_jsonl` with no conversion.
+
+The Chrome form mirrors :func:`repro.trace.export.write_chrome_trace`
+(the simulator's event exporter): complete (``ph: "X"``) events with
+microsecond timestamps, one **process lane per OS pid** (the serve
+process and each pool worker get their own group) and one **thread
+lane per request id**, so a coalesced batch reads as parallel request
+rows feeding one worker row in ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "spans_to_chrome",
+    "write_chrome_spans",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+]
+
+
+def spans_to_chrome(
+    spans: Iterable[Span], meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Build the ``chrome://tracing`` JSON document for a span set."""
+    spans = sorted(spans, key=lambda s: (s.start_unix, s.elapsed_s))
+    lanes: dict[tuple[int, str], int] = {}
+    events: list[dict[str, Any]] = []
+    for s in spans:
+        tid = lanes.setdefault((s.pid, s.trace_id), len(lanes))
+        args: dict[str, Any] = {
+            "trace_id": s.trace_id,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+        }
+        args.update(s.attrs)
+        events.append(
+            {
+                "name": s.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": round(s.start_unix * 1e6, 3),
+                "dur": round(s.elapsed_s * 1e6, 3),
+                "pid": s.pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    name_meta: list[dict[str, Any]] = []
+    for (pid, trace_id), tid in lanes.items():
+        name_meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": trace_id},
+            }
+        )
+        name_meta.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    return {
+        "traceEvents": name_meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", **(meta or {})},
+    }
+
+
+def write_chrome_spans(
+    path: str | pathlib.Path,
+    spans: Iterable[Span],
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Write a span set as Chrome-trace JSON for ``chrome://tracing``."""
+    doc = spans_to_chrome(spans, meta)
+    pathlib.Path(path).write_text(json.dumps(doc) + "\n")
+
+
+def write_spans_jsonl(path: str | pathlib.Path, spans: Iterable[Span]) -> int:
+    """Write spans as JSONL (the tracer's log format); returns the count."""
+    n = 0
+    with open(path, "w") as fh:
+        for s in spans:
+            fh.write(json.dumps(s.as_dict(), sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def read_spans_jsonl(path: str | pathlib.Path) -> list[Span]:
+    """Read a span JSONL file (tolerating blank lines) back into spans."""
+    spans: list[Span] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(Span.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad span line ({exc})") from None
+    return spans

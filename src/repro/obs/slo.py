@@ -1,0 +1,108 @@
+"""SLO aggregation: per-stage latency quantiles from finished spans.
+
+A span's **stage** is the first dotted segment of its name — the
+``request``, ``coalesce``, ``exec``, ``mapping``, ``simulate``,
+``store``, ``prepare`` … groups one request's tree passes through.
+Durations land in the bucketed :class:`~repro.telemetry.registry.Histogram`
+so p50/p95/p99 come from the same fixed log-spaced buckets the metrics
+pipeline exports, and the report closes with the slowest request roots
+(the traces worth opening in ``chrome://tracing`` first).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.obs.tracer import Span
+from repro.telemetry.registry import Histogram
+from repro.util.tables import format_table
+
+__all__ = ["stage_of", "slo_report", "render_slo"]
+
+#: Report/record identity for the SLO JSON document.
+SLO_RECORD = "repro-slo-report"
+
+
+def stage_of(name: str) -> str:
+    """The stage a span name belongs to: its first dotted segment."""
+    return name.split(".", 1)[0]
+
+
+def slo_report(spans: Iterable[Span], top: int = 5) -> dict[str, Any]:
+    """Aggregate spans into per-stage quantiles + slowest-roots ranking."""
+    spans = list(spans)
+    stages: dict[str, Histogram] = {}
+    for s in spans:
+        hist = stages.get(stage_of(s.name))
+        if hist is None:
+            hist = stages[stage_of(s.name)] = Histogram()
+        hist.observe(s.elapsed_s)
+
+    span_ids = {s.span_id for s in spans}
+    roots = [s for s in spans if not s.parent_id or s.parent_id not in span_ids]
+    roots.sort(key=lambda s: s.elapsed_s, reverse=True)
+
+    return {
+        "record": SLO_RECORD,
+        "spans": len(spans),
+        "stages": {
+            name: {
+                "count": hist.count,
+                "p50_s": hist.quantile(0.50),
+                "p95_s": hist.quantile(0.95),
+                "p99_s": hist.quantile(0.99),
+                "max_s": hist.max,
+                "sum_s": hist.sum,
+                "mean_s": hist.mean,
+            }
+            for name, hist in sorted(stages.items())
+        },
+        "slowest": [
+            {
+                "trace_id": s.trace_id,
+                "name": s.name,
+                "elapsed_s": s.elapsed_s,
+                "pid": s.pid,
+            }
+            for s in roots[: max(top, 0)]
+        ],
+    }
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def render_slo(report: dict[str, Any]) -> str:
+    """Render an :func:`slo_report` document as aligned text tables."""
+    lines = [
+        format_table(
+            ["stage", "count", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"],
+            [
+                [
+                    name,
+                    row["count"],
+                    _ms(row["p50_s"]),
+                    _ms(row["p95_s"]),
+                    _ms(row["p99_s"]),
+                    _ms(row["max_s"]),
+                ]
+                for name, row in report.get("stages", {}).items()
+            ],
+            title=f"per-stage latency ({report.get('spans', 0)} spans)",
+        )
+    ]
+    slowest = report.get("slowest", [])
+    if slowest:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["trace", "root span", "elapsed (ms)", "pid"],
+                [
+                    [s["trace_id"], s["name"], _ms(s["elapsed_s"]), s["pid"]]
+                    for s in slowest
+                ],
+                title="slowest roots",
+            )
+        )
+    return "\n".join(lines)

@@ -39,12 +39,16 @@ class ServeError(Exception):
         message: str,
         http_status: int = 0,
         retry_after_s: float | None = None,
+        request_id: str = "",
     ):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
         self.http_status = http_status
         self.retry_after_s = retry_after_s
+        #: Correlation id — the server stamps X-Repro-Request-Id on
+        #: error responses too, so failures are traceable.
+        self.request_id = request_id
 
 
 @dataclass(frozen=True)
@@ -59,6 +63,9 @@ class ServeResponse:
     source: str = ""
     batch_size: int = 0
     digest: str = ""
+    #: X-Repro-Request-Id header — the trace id of this request's span
+    #: tree on the server.
+    request_id: str = ""
 
     @property
     def result(self) -> dict[str, Any]:
@@ -66,6 +73,7 @@ class ServeResponse:
 
 
 def _raise_for_error(status: int, body: bytes, headers: Mapping[str, str]):
+    request_id = headers.get("x-repro-request-id", "")
     try:
         doc = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, ValueError):
@@ -78,9 +86,13 @@ def _raise_for_error(status: int, body: bytes, headers: Mapping[str, str]):
             err.get("message", "unknown error"),
             http_status=status,
             retry_after_s=retry,
+            request_id=request_id,
         )
     raise ServeError(
-        "internal", f"HTTP {status}: {body[:200]!r}", http_status=status
+        "internal",
+        f"HTTP {status}: {body[:200]!r}",
+        http_status=status,
+        request_id=request_id,
     )
 
 
@@ -100,6 +112,7 @@ def _build_response(
         source=headers.get("x-repro-source", ""),
         batch_size=int(headers.get("x-repro-batch-size") or 0),
         digest=headers.get("x-repro-digest", ""),
+        request_id=headers.get("x-repro-request-id", ""),
     )
 
 
@@ -141,10 +154,16 @@ class ServeClient:
         self.close()
 
     def _request(
-        self, method: str, path: str, body: bytes | None = None
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        extra_headers: Mapping[str, str] | None = None,
     ) -> tuple[int, bytes, dict[str, str]]:
         conn = self._connection()
         headers = {"Content-Type": "application/json"} if body else {}
+        if extra_headers:
+            headers.update(extra_headers)
         try:
             conn.request(method, path, body=body, headers=headers)
             resp = conn.getresponse()
@@ -171,11 +190,21 @@ class ServeClient:
         config: Mapping[str, Any] | None = None,
         engine: Mapping[str, Any] | None = None,
         scenario: str | Mapping[str, Any] | None = None,
+        request_id: str = "",
     ) -> ServeResponse:
         body = encode_doc(
             request_doc(workload, version, scale, config, engine, scenario)
         )
-        return _build_response(*self._request("POST", "/v1/experiment", body))
+        extra = {"X-Repro-Request-Id": request_id} if request_id else None
+        return _build_response(
+            *self._request("POST", "/v1/experiment", body, extra)
+        )
+
+    def debugz(self) -> dict[str, Any]:
+        status, body, headers = self._request("GET", "/debugz")
+        if status >= 400:
+            _raise_for_error(status, body, headers)
+        return json.loads(body)
 
     def health(self) -> dict[str, Any]:
         status, body, _ = self._request("GET", "/healthz")
@@ -209,16 +238,25 @@ class AsyncServeClient:
         self.timeout = timeout
 
     async def _request(
-        self, method: str, path: str, body: bytes | None = None
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        extra_headers: Mapping[str, str] | None = None,
     ) -> tuple[int, bytes, dict[str, str]]:
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
             payload = body or b""
+            extra = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in (extra_headers or {}).items()
+            )
             head = (
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 f"Content-Type: application/json\r\n"
+                f"{extra}"
                 f"Connection: close\r\n\r\n"
             )
             writer.write(head.encode("ascii") + payload)
@@ -251,13 +289,21 @@ class AsyncServeClient:
         config: Mapping[str, Any] | None = None,
         engine: Mapping[str, Any] | None = None,
         scenario: str | Mapping[str, Any] | None = None,
+        request_id: str = "",
     ) -> ServeResponse:
         body = encode_doc(
             request_doc(workload, version, scale, config, engine, scenario)
         )
+        extra = {"X-Repro-Request-Id": request_id} if request_id else None
         return _build_response(
-            *await self._request("POST", "/v1/experiment", body)
+            *await self._request("POST", "/v1/experiment", body, extra)
         )
+
+    async def debugz(self) -> dict[str, Any]:
+        status, body, headers = await self._request("GET", "/debugz")
+        if status >= 400:
+            _raise_for_error(status, body, headers)
+        return json.loads(body)
 
     async def statusz(self) -> dict[str, Any]:
         status, body, headers = await self._request("GET", "/statusz")

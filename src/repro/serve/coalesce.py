@@ -28,6 +28,8 @@ from typing import Any
 
 from repro.exec.executor import SerialExecutor, task_payload
 from repro.exec.plan import ExperimentTask
+from repro.obs.context import SpanContext, current_context
+from repro.obs.tracer import get_tracer, span
 from repro.simulator.serialization import result_from_dict, result_to_dict
 from repro.telemetry import get_registry
 from repro.util.log import get_logger
@@ -48,6 +50,10 @@ class Submitted:
     coalesced: bool = False
     #: Size of the batch this request's simulation ran in (0 if no run).
     batch_size: int = 0
+    #: Span id of the ``exec.task`` span that computed the result ("" if
+    #: cached or untraced) — the shared simulation span N coalesced
+    #: requests all reference.
+    span_id: str = ""
 
 
 class Coalescer:
@@ -75,9 +81,12 @@ class Coalescer:
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1000.0
         self._inflight: dict[str, asyncio.Future] = {}
-        self._queue: asyncio.Queue[tuple[ExperimentTask, asyncio.Future]] = (
-            asyncio.Queue()
-        )
+        # Queue entries carry the submitting request's span context so
+        # the worker-side exec.task span reattaches to the *leader*
+        # request's tree (waiters reference it via Submitted.span_id).
+        self._queue: asyncio.Queue[
+            tuple[ExperimentTask, SpanContext | None, asyncio.Future]
+        ] = asyncio.Queue()
         self._batcher: asyncio.Task | None = None
 
     # -- lifecycle ----------------------------------------------------------------
@@ -124,22 +133,37 @@ class Coalescer:
             reg.counter("serve.coalesced").inc()
             # shield: a waiter timing out must not cancel the shared
             # computation other waiters (and the store) depend on.
-            doc, batch_size = await asyncio.shield(fut)
-            return Submitted(doc, coalesced=True, batch_size=batch_size)
+            with span("coalesce.wait", digest=digest[:12]) as sp:
+                doc, batch_size, span_id = await asyncio.shield(fut)
+                # The waiter's tree points at the leader's simulation
+                # span: N logical requests, one shared computation.
+                sp.set(shared_span=span_id)
+            return Submitted(
+                doc, coalesced=True, batch_size=batch_size, span_id=span_id
+            )
         if self.store is not None:
-            cached = self.store.get(task.key)
+            with span("store.get", digest=digest[:12]) as sp:
+                cached = self.store.get(task.key)
+                sp.set(hit=cached is not None)
             if cached is not None:
                 return Submitted(result_to_dict(cached), cached=True)
         self.start()
         fut = asyncio.get_running_loop().create_future()
         self._inflight[digest] = fut
-        await self._queue.put((task, fut))
-        doc, batch_size = await asyncio.shield(fut)
-        return Submitted(doc, batch_size=batch_size)
+        with span("coalesce.queue", digest=digest[:12]) as sp:
+            # submit() runs on the requester's own asyncio task, so the
+            # ambient context here is the request's root span; the
+            # batcher task has no such ambient context, which is why the
+            # queue entry ships it explicitly.
+            await self._queue.put((task, sp.context or current_context(), fut))
+            doc, batch_size, span_id = await asyncio.shield(fut)
+        return Submitted(doc, batch_size=batch_size, span_id=span_id)
 
     # -- batching -----------------------------------------------------------------
 
-    async def _collect_batch(self) -> list[tuple[ExperimentTask, asyncio.Future]]:
+    async def _collect_batch(
+        self,
+    ) -> list[tuple[ExperimentTask, SpanContext | None, asyncio.Future]]:
         """One batch: first waiter, then up to max_batch/max_wait more."""
         batch = [await self._queue.get()]
         loop = asyncio.get_running_loop()
@@ -161,39 +185,51 @@ class Coalescer:
         reg = get_registry()
         while True:
             batch = await self._collect_batch()
-            tasks = [t for t, _ in batch]
+            tasks = [t for t, _, _ in batch]
+            ctxs = [c for _, c, _ in batch]
             reg.counter("serve.batches").inc()
             reg.histogram("serve.batch_size").observe(len(batch))
             start = time.perf_counter()
             try:
-                docs = await loop.run_in_executor(None, self._execute, tasks)
+                docs = await loop.run_in_executor(None, self._execute, tasks, ctxs)
             except Exception as exc:  # noqa: BLE001 - fanned back to waiters
                 _LOG.warning("batch of %d failed: %s", len(batch), exc)
-                for _, fut in batch:
+                for _, _, fut in batch:
                     if not fut.done():
                         fut.set_exception(exc)
             else:
-                for (_, fut), doc in zip(batch, docs):
+                for (_, _, fut), (doc, span_id) in zip(batch, docs):
                     if not fut.done():
-                        fut.set_result((doc, len(batch)))
+                        fut.set_result((doc, len(batch), span_id))
             finally:
                 reg.histogram("serve.batch_seconds").observe(
                     time.perf_counter() - start
                 )
-                for t, _ in batch:
+                for t, _, _ in batch:
                     self._inflight.pop(t.key.digest, None)
 
-    def _execute(self, tasks: list[ExperimentTask]) -> list[dict[str, Any]]:
+    def _execute(
+        self,
+        tasks: list[ExperimentTask],
+        ctxs: list[SpanContext | None] | None = None,
+    ) -> list[tuple[dict[str, Any], str]]:
         """Blocking backend call; runs in a worker thread.
 
         The same shape as :func:`~repro.exec.plan.execute_plan`'s miss
-        path: payloads through the executor, worker metrics merged,
-        results written back to the store — and every result passes the
-        ``result_to_dict`` round-trip, so responses are identical
-        whether they came from a simulation or a later store hit.
+        path: payloads through the executor, worker metrics merged and
+        spans repatriated, results written back to the store — and every
+        result passes the ``result_to_dict`` round-trip, so responses
+        are identical whether they came from a simulation or a later
+        store hit.  ``ctxs`` pairs each task with its submitting
+        request's span context (contextvars don't cross
+        ``run_in_executor``, so parentage travels explicitly).  Returns
+        ``(response doc, exec.task span id)`` per task.
         """
         reg = get_registry()
+        tracer = get_tracer()
         collect = reg.enabled
+        if ctxs is None:
+            ctxs = [None] * len(tasks)
         payloads = [
             task_payload(
                 t.workload,
@@ -205,13 +241,28 @@ class Coalescer:
             )
             for t in tasks
         ]
+        if tracer.enabled:
+            for p, ctx in zip(payloads, ctxs):
+                p["trace"] = {
+                    "trace_id": ctx.trace_id if ctx else None,
+                    "parent_id": ctx.span_id if ctx else None,
+                }
         outs = self.executor.run_payloads(payloads)
-        docs = []
-        for t, out in zip(tasks, outs):
+        docs: list[tuple[dict[str, Any], str]] = []
+        for t, ctx, out in zip(tasks, ctxs, outs):
             if collect and out.get("metrics"):
                 reg.merge_snapshot(out["metrics"])
+            if out.get("spans"):
+                tracer.ingest(out["spans"])
+            task_span_id = out.get("span_id") or ""
             result = result_from_dict(out["result"])
             if self.store is not None:
-                self.store.put(t.key, result)
-            docs.append(result_to_dict(result))
+                with span(
+                    "store.put",
+                    trace_id=ctx.trace_id if ctx else None,
+                    parent_id=task_span_id or (ctx.span_id if ctx else None),
+                    digest=t.key.digest[:12],
+                ):
+                    self.store.put(t.key, result)
+            docs.append((result_to_dict(result), task_span_id))
         return docs

@@ -31,7 +31,15 @@ import contextlib
 import signal
 import threading
 import time
+from contextvars import ContextVar
 
+from repro.obs.context import (
+    REQUEST_ID_HEADER,
+    new_request_id,
+    sanitize_request_id,
+)
+from repro.obs.slo import slo_report
+from repro.obs.tracer import get_tracer, span, use_tracer
 from repro.serve.coalesce import Coalescer
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -72,6 +80,13 @@ SERVE_COUNTERS = (
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 _MAX_HEADER_LINES = 100
 
+#: The request id of the HTTP request being dispatched on this task.
+#: Context-local so interleaved keep-alive connections never cross ids;
+#: read by ``_respond`` so *every* response — success, typed error, 429
+#: backpressure, even a malformed-framing reply that never produced a
+#: request object — carries a correlation header.
+_REQUEST_ID: ContextVar[str] = ContextVar("repro_serve_request_id", default="")
+
 
 class _HttpRequest:
     __slots__ = ("method", "target", "headers", "body", "keep_alive")
@@ -108,6 +123,7 @@ class MappingServer:
         executor=None,
         store=None,
         registry=None,
+        tracer=None,
         max_queue: int = 64,
         max_batch: int = 8,
         max_wait_ms: float = 5.0,
@@ -120,6 +136,10 @@ class MappingServer:
         self.host = host
         self.port = port
         self.registry = registry
+        #: Live :class:`~repro.obs.tracer.Tracer` installed process-wide
+        #: for the server's lifetime (``None`` = tracing off, the
+        #: default); feeds ``/debugz`` and the span log.
+        self.tracer = tracer
         self.max_queue = max_queue
         self.request_timeout_s = request_timeout_s
         self.drain_grace_s = drain_grace_s
@@ -144,10 +164,12 @@ class MappingServer:
 
     def serve_forever(self, install_signals: bool = True) -> int:
         """Run until shutdown; returns the process exit code (0 = drained)."""
-        if self.registry is not None:
-            with use_registry(self.registry):
-                return asyncio.run(self._serve(install_signals))
-        return asyncio.run(self._serve(install_signals))
+        with contextlib.ExitStack() as stack:
+            if self.registry is not None:
+                stack.enter_context(use_registry(self.registry))
+            if self.tracer is not None:
+                stack.enter_context(use_tracer(self.tracer))
+            return asyncio.run(self._serve(install_signals))
 
     def request_shutdown(self) -> None:
         """Begin a graceful drain; thread-safe, callable from anywhere."""
@@ -297,11 +319,15 @@ class MappingServer:
         keep_alive: bool = True,
     ) -> None:
         reason = _STATUS_TEXT.get(status, "Unknown")
+        # Fresh id for replies that never reached _dispatch (e.g.
+        # malformed framing) — every response correlates to *something*.
+        request_id = _REQUEST_ID.get() or new_request_id()
         head = [
             f"HTTP/1.1 {status} {reason}",
             f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"X-Repro-Protocol: {PROTOCOL_VERSION}",
+            f"{REQUEST_ID_HEADER}: {request_id}",
             f"Connection: {'keep-alive' if keep_alive and not self._draining else 'close'}",
         ]
         for name, value in (extra_headers or {}).items():
@@ -330,6 +356,13 @@ class MappingServer:
         reg = get_registry()
         path = request.target.split("?", 1)[0]
         reg.counter("serve.requests", endpoint=path).inc()
+        # A client-supplied id (cross-system tracing) is echoed when
+        # well-formed; anything else gets a freshly generated one.
+        request_id = (
+            sanitize_request_id(request.headers.get(REQUEST_ID_HEADER.lower()))
+            or new_request_id()
+        )
+        token = _REQUEST_ID.set(request_id)
         try:
             if path == "/healthz":
                 await self._handle_healthz(request, writer)
@@ -337,12 +370,16 @@ class MappingServer:
                 await self._handle_statusz(request, writer)
             elif path == "/metrics":
                 await self._handle_metrics(request, writer)
+            elif path == "/debugz":
+                await self._handle_debugz(request, writer)
             elif path == "/v1/experiment":
                 await self._handle_experiment(request, writer)
             else:
                 raise ProtocolError("not_found", f"no such endpoint {path!r}")
         except ProtocolError as exc:
             await self._respond_error(writer, exc, keep_alive=request.keep_alive)
+        finally:
+            _REQUEST_ID.reset(token)
 
     def _require_method(self, request: _HttpRequest, method: str) -> None:
         if request.method != method:
@@ -410,6 +447,32 @@ class MappingServer:
             keep_alive=request.keep_alive,
         )
 
+    async def _handle_debugz(self, request: _HttpRequest, writer) -> None:
+        """Observability snapshot: recent spans, SLO breakdown, slowest.
+
+        Bypasses admission like the other ops endpoints — a saturated
+        server must still explain where its time goes.  With tracing
+        off (the default) it reports ``enabled: false`` and empty data.
+        """
+        self._require_method(request, "GET")
+        tracer = get_tracer()
+        spans = tracer.spans()
+        doc = {
+            "record": "repro-serve-debug",
+            "tracer": {
+                "enabled": bool(tracer.enabled),
+                "capacity": tracer.capacity,
+                "collected": len(spans),
+                "dropped": tracer.dropped,
+                "log_path": tracer.log_path,
+            },
+            "slo": slo_report(spans),
+            "recent": [s.as_dict() for s in spans[-50:]],
+        }
+        await self._respond(
+            writer, 200, encode_doc(doc), keep_alive=request.keep_alive
+        )
+
     # -- the mapping endpoint -----------------------------------------------------
 
     async def _handle_experiment(self, request: _HttpRequest, writer) -> None:
@@ -447,34 +510,45 @@ class MappingServer:
         reg.gauge("serve.queue_depth").set(self._active)
         start = time.perf_counter()
         try:
-            try:
-                submitted = await asyncio.wait_for(
-                    self.coalescer.submit(task), self.request_timeout_s
+            # The request's root span: its trace id IS the request id
+            # the response header carries, so a client can fetch its own
+            # tree from /debugz (or the span log) by that id.
+            with span(
+                "request.experiment",
+                trace_id=_REQUEST_ID.get() or None,
+                workload=task.workload,
+                version=task.version,
+                digest=task.key.digest[:12],
+            ) as root:
+                try:
+                    submitted = await asyncio.wait_for(
+                        self.coalescer.submit(task), self.request_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    raise ProtocolError(
+                        "timeout",
+                        f"request exceeded {self.request_timeout_s:.0f}s "
+                        f"(key {task.key.digest[:12]})",
+                    ) from None
+                except ProtocolError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - typed for the wire
+                    _LOG.exception("backend failed for %r", task.key)
+                    raise ProtocolError(
+                        "internal", f"backend failed: {exc}"
+                    ) from exc
+                source = (
+                    "cache" if submitted.cached
+                    else "coalesced" if submitted.coalesced
+                    else "simulated"
                 )
-            except asyncio.TimeoutError:
-                raise ProtocolError(
-                    "timeout",
-                    f"request exceeded {self.request_timeout_s:.0f}s "
-                    f"(key {task.key.digest[:12]})",
-                ) from None
-            except ProtocolError:
-                raise
-            except Exception as exc:  # noqa: BLE001 - typed for the wire
-                _LOG.exception("backend failed for %r", task.key)
-                raise ProtocolError(
-                    "internal", f"backend failed: {exc}"
-                ) from exc
+                root.set(source=source, batch_size=submitted.batch_size)
         finally:
             self._active -= 1
             reg.gauge("serve.queue_depth").set(self._active)
             reg.histogram("serve.request_seconds").observe(
                 time.perf_counter() - start
             )
-        source = (
-            "cache" if submitted.cached
-            else "coalesced" if submitted.coalesced
-            else "simulated"
-        )
         await self._respond(
             writer,
             200,

@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.tracer import get_tracer
+from repro.obs.tracer import span as _obs_span
 from repro.telemetry.registry import get_registry
 
 __all__ = ["PhaseRecord", "PhaseProfiler", "phase"]
@@ -138,10 +140,14 @@ class phase:
 
     ``elapsed`` is always measured; the phase tree and the
     ``phase.duration_seconds`` histogram are only recorded when the
-    active registry is enabled.
+    active registry is enabled.  When the active *tracer*
+    (:func:`repro.obs.tracer.get_tracer`) is enabled, every phase also
+    opens a span — independently of the registry — so one traced
+    request's tree reaches down into mapper/simulator phases with no
+    extra instrumentation at the phase sites.
     """
 
-    __slots__ = ("name", "elapsed", "_start", "_record", "_profiler")
+    __slots__ = ("name", "elapsed", "_start", "_record", "_profiler", "_span")
 
     def __init__(self, name: str):
         self.name = name
@@ -149,17 +155,24 @@ class phase:
         self._start = 0.0
         self._record: PhaseRecord | None = None
         self._profiler: PhaseProfiler | None = None
+        self._span: _obs_span | None = None
 
     def __enter__(self) -> "phase":
         registry = get_registry()
         if registry.enabled and registry.profiler is not None:
             self._profiler = registry.profiler
             self._record = self._profiler._enter(self.name)
+        if get_tracer().enabled:
+            self._span = _obs_span(self.name)
+            self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.elapsed = time.perf_counter() - self._start
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+            self._span = None
         if self._record is not None and self._profiler is not None:
             self._profiler._exit(self._record, self.elapsed)
             path = self._profiler.path()

@@ -5,9 +5,11 @@ format, so run metrics can be pushed to a Pushgateway or scraped from a
 file exporter without this repo growing a client dependency.
 
 Conventions: names are prefixed ``repro_`` with dots mapped to
-underscores; counters gain the ``_total`` suffix; histograms are
-exposed as summaries (``_count``/``_sum``) plus ``_min``/``_max``
-gauges (the registry keeps no buckets).
+underscores; counters gain the ``_total`` suffix; histograms expose
+cumulative ``_bucket{le=...}`` series over the registry's fixed
+log-spaced bounds plus ``_count``/``_sum``, with ``_min``/``_max``
+as companion gauges (Prometheus histograms don't carry exact
+extrema).
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from __future__ import annotations
 import re
 from typing import Any
 
-from repro.telemetry.registry import MetricsRegistry, NullRegistry
+from repro.telemetry.registry import BUCKET_BOUNDS, MetricsRegistry, NullRegistry
 
 __all__ = ["to_prometheus_text", "manifest_to_prometheus"]
 
@@ -79,10 +81,26 @@ def _render_gauge(r: _Renderer, name: str, labels: dict, value: float) -> None:
 
 
 def _render_histogram(
-    r: _Renderer, name: str, labels: dict, summary: dict[str, float]
+    r: _Renderer, name: str, labels: dict, summary: dict[str, Any]
 ) -> None:
     metric = _metric_name(name)
-    r.header(metric, "summary", f"repro histogram {name}")
+    r.header(metric, "histogram", f"repro histogram {name}")
+    sparse = summary.get("buckets") or {}
+    cumulative = 0
+    # Emit only occupied bounds (plus +Inf): 74 fixed buckets per series
+    # would swamp the exposition, and cumulative counts stay correct
+    # under any subset of bounds.
+    occupied = sorted(int(idx) for idx in sparse)
+    for idx in occupied:
+        cumulative += int(sparse[str(idx)])
+        le = (
+            _format_value(BUCKET_BOUNDS[idx])
+            if idx < len(BUCKET_BOUNDS)
+            else "+Inf"
+        )
+        if le != "+Inf":
+            r.sample(metric + "_bucket", {**labels, "le": le}, cumulative)
+    r.sample(metric + "_bucket", {**labels, "le": "+Inf"}, summary.get("count", 0))
     r.sample(metric + "_count", labels, summary.get("count", 0))
     r.sample(metric + "_sum", labels, summary.get("sum", 0.0))
     for bound in ("min", "max"):

@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import re
 import threading
+from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -89,22 +91,38 @@ class Gauge:
         return f"Gauge({self.value})"
 
 
-class Histogram:
-    """A streaming distribution summary: count, sum, min, max.
+#: Fixed log-spaced bucket upper bounds shared by every histogram:
+#: four buckets per decade from 1e-9 to 1e9 (10 ** (e / 4) for
+#: e in -36..36), plus one implicit overflow bucket past the last
+#: bound.  Global constants are what make bucket counts *compose*:
+#: any two histograms — a worker's and the parent's, this run's and
+#: last run's — share bucket edges, so merging is element-wise
+#: addition (:meth:`Histogram.merge_summary`).  The span covers
+#: sub-nanosecond phase timings through multi-gigabyte byte counts.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** (e / 4.0) for e in range(-36, 37))
 
-    Deliberately bucket-free — the registry feeds single-process run
-    manifests, not a scrape endpoint, and count/sum/min/max answer the
-    questions the reports ask (totals, averages, spread) without
-    per-observation storage.
+#: Total bucket count including the overflow bucket.
+_NBUCKETS = len(BUCKET_BOUNDS) + 1
+
+
+class Histogram:
+    """A streaming distribution summary: count/sum/min/max + buckets.
+
+    Fixed log-spaced bucket counts (:data:`BUCKET_BOUNDS`) back the
+    :meth:`quantile` estimates the SLO reports need (p50/p95/p99 of
+    per-stage latencies) while staying exactly composable under
+    :meth:`merge_summary` — no per-observation storage, and worker
+    snapshots still fold into the parent registry by addition.
     """
 
-    __slots__ = ("count", "sum", "min", "max")
+    __slots__ = ("count", "sum", "min", "max", "_buckets")
 
     def __init__(self):
         self.count = 0
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._buckets = [0] * _NBUCKETS
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -113,19 +131,64 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def merge_summary(
-        self, count: int, total: float, minimum: float, maximum: float
-    ) -> None:
-        """Fold another histogram's count/sum/min/max into this one.
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket observation counts (last entry is the overflow)."""
+        return list(self._buckets)
 
-        Count/sum/min/max compose exactly under merging, which is what
-        lets process-pool workers ship their registry snapshots back to
-        the parent (:meth:`MetricsRegistry.merge_snapshot`).
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the holding bucket, clamped to the
+        exact observed ``[min, max]`` so single-observation histograms
+        and tail quantiles never report a value outside the data.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile q must be in (0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for idx, bucket_count in enumerate(self._buckets):
+            if not bucket_count:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lo = BUCKET_BOUNDS[idx - 1] if idx > 0 else 0.0
+                hi = (
+                    BUCKET_BOUNDS[idx]
+                    if idx < len(BUCKET_BOUNDS)
+                    else max(self.max, lo)
+                )
+                fraction = (target - previous) / bucket_count
+                value = lo + (hi - lo) * fraction
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    def merge_summary(
+        self,
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        buckets: Mapping[str, int] | None = None,
+    ) -> None:
+        """Fold another histogram's summary into this one.
+
+        Count/sum/min/max compose exactly, and — because every
+        histogram shares :data:`BUCKET_BOUNDS` — so do bucket counts,
+        which is what lets process-pool workers ship their registry
+        snapshots back to the parent
+        (:meth:`MetricsRegistry.merge_snapshot`).  ``buckets`` is the
+        sparse ``{bucket_index: count}`` mapping :meth:`as_dict`
+        emits; a summary without one (a pre-bucket snapshot) degrades
+        gracefully by crediting all observations to the mean's bucket.
         """
         if not count:
             return
@@ -135,8 +198,17 @@ class Histogram:
             self.min = minimum
         if maximum > self.max:
             self.max = maximum
+        if buckets:
+            for raw_idx, bucket_count in buckets.items():
+                idx = int(raw_idx)
+                if not 0 <= idx < _NBUCKETS:
+                    raise ValueError(f"bucket index {idx} out of range")
+                self._buckets[idx] += int(bucket_count)
+        else:
+            mean = total / count
+            self._buckets[bisect_left(BUCKET_BOUNDS, mean)] += count
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, Any]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
         return {
@@ -145,6 +217,16 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            # Sparse: only occupied buckets, keyed by bucket index (JSON
+            # object keys are strings).  merge_summary accepts this form.
+            "buckets": {
+                str(idx): bucket_count
+                for idx, bucket_count in enumerate(self._buckets)
+                if bucket_count
+            },
         }
 
     def __repr__(self) -> str:
@@ -282,6 +364,7 @@ class MetricsRegistry:
                 entry.get("sum", 0.0),
                 entry.get("min", float("inf")),
                 entry.get("max", float("-inf")),
+                entry.get("buckets"),
             )
 
     def as_dict(self) -> dict[str, list[dict[str, Any]]]:

@@ -1,0 +1,76 @@
+"""Tests for Chrome-trace and JSONL span exports."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    read_spans_jsonl,
+    spans_to_chrome,
+    write_chrome_spans,
+    write_spans_jsonl,
+)
+from repro.obs.tracer import Span
+
+
+def _spans():
+    return [
+        Span("request.experiment", "req-1", "a1", None, 10.0, 0.5, pid=100),
+        Span("exec.task", "req-1", "b2", "a1", 10.1, 0.3, pid=200,
+             attrs={"workload": "hf"}),
+        Span("request.experiment", "req-2", "c3", None, 10.2, 0.1, pid=100),
+    ]
+
+
+class TestChrome:
+    def test_complete_events_in_microseconds(self):
+        doc = spans_to_chrome(_spans())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in events] == [
+            "request.experiment", "exec.task", "request.experiment"
+        ]
+        first = events[0]
+        assert first["ts"] == pytest.approx(10.0 * 1e6)
+        assert first["dur"] == pytest.approx(0.5 * 1e6)
+        assert first["args"]["trace_id"] == "req-1"
+        assert events[1]["args"]["workload"] == "hf"
+
+    def test_one_lane_per_pid_and_trace(self):
+        doc = spans_to_chrome(_spans())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        lanes = {(e["pid"], e["tid"]) for e in events}
+        # (100, req-1), (200, req-1), (100, req-2) are distinct lanes.
+        assert len(lanes) == 3
+        names = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {n["args"]["name"] for n in names} == {"req-1", "req-2"}
+
+    def test_meta_lands_in_other_data(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_spans(path, _spans(), meta={"source": "test"})
+        doc = json.loads(path.read_text())
+        assert doc["otherData"] == {"exporter": "repro.obs", "source": "test"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans = _spans()
+        assert write_spans_jsonl(path, spans) == 3
+        assert read_spans_jsonl(path) == spans
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(path, _spans()[:1])
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_spans_jsonl(path)) == 1
+
+    def test_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(path, _spans()[:1])
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ValueError, match=r"spans\.jsonl:2"):
+            read_spans_jsonl(path)

@@ -1,0 +1,69 @@
+"""Tests for per-stage SLO aggregation and its rendering."""
+
+from repro.obs.slo import SLO_RECORD, render_slo, slo_report, stage_of
+from repro.obs.tracer import Span
+
+
+def _span(name, elapsed, span_id, parent=None, trace="req-1"):
+    return Span(name, trace, span_id, parent, 10.0, elapsed)
+
+
+class TestStageOf:
+    def test_first_dotted_segment(self):
+        assert stage_of("request.experiment") == "request"
+        assert stage_of("store.get") == "store"
+        assert stage_of("simulate") == "simulate"
+
+
+class TestReport:
+    def test_stages_aggregate_by_prefix(self):
+        spans = [
+            _span("request.experiment", 0.100, "a"),
+            _span("store.get", 0.001, "b", parent="a"),
+            _span("store.put", 0.003, "c", parent="a"),
+            _span("simulate", 0.080, "d", parent="a"),
+        ]
+        report = slo_report(spans)
+        assert report["record"] == SLO_RECORD
+        assert report["spans"] == 4
+        assert set(report["stages"]) == {"request", "store", "simulate"}
+        store = report["stages"]["store"]
+        assert store["count"] == 2
+        assert store["max_s"] == 0.003
+        assert 0.0 < store["p50_s"] <= store["p95_s"] <= store["p99_s"]
+        assert store["p99_s"] <= store["max_s"]
+        assert report["stages"]["simulate"]["p50_s"] > 0.0
+
+    def test_slowest_ranks_roots_only(self):
+        spans = [
+            _span("request.experiment", 0.2, "a", trace="req-slow"),
+            _span("simulate", 0.19, "b", parent="a", trace="req-slow"),
+            _span("request.experiment", 0.01, "c", trace="req-fast"),
+        ]
+        report = slo_report(spans, top=1)
+        assert [s["trace_id"] for s in report["slowest"]] == ["req-slow"]
+        assert report["slowest"][0]["elapsed_s"] == 0.2
+
+    def test_orphan_counts_as_root(self):
+        report = slo_report([_span("exec.task", 0.5, "x", parent="gone")])
+        assert [s["name"] for s in report["slowest"]] == ["exec.task"]
+
+    def test_empty_spans(self):
+        report = slo_report([])
+        assert report["spans"] == 0
+        assert report["stages"] == {} and report["slowest"] == []
+
+
+class TestRender:
+    def test_tables_name_stages_and_slowest(self):
+        report = slo_report(
+            [
+                _span("request.experiment", 0.1, "a"),
+                _span("simulate", 0.08, "b", parent="a"),
+            ]
+        )
+        text = render_slo(report)
+        assert "per-stage latency (2 spans)" in text
+        assert "request" in text and "simulate" in text
+        assert "slowest roots" in text
+        assert "req-1" in text

@@ -32,17 +32,32 @@ class TestExposition:
         assert "# TYPE repro_graph_nodes gauge" in text
         assert "repro_graph_nodes 64" in text
 
-    def test_histogram_as_summary_with_bounds(self):
+    def test_histogram_with_buckets_and_bounds(self):
         reg = MetricsRegistry()
         h = reg.histogram("balancing.imbalance")
         h.observe(0.25)
         h.observe(0.75)
         text = to_prometheus_text(reg)
-        assert "# TYPE repro_balancing_imbalance summary" in text
+        assert "# TYPE repro_balancing_imbalance histogram" in text
+        assert 'repro_balancing_imbalance_bucket{le="+Inf"} 2' in text
         assert "repro_balancing_imbalance_count 2" in text
         assert "repro_balancing_imbalance_sum 1.0" in text
         assert "repro_balancing_imbalance_min 0.25" in text
         assert "repro_balancing_imbalance_max 0.75" in text
+
+    def test_histogram_bucket_counts_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("e.f")
+        for v in (0.001, 0.5, 0.5, 100.0):
+            h.observe(v)
+        lines = [
+            ln
+            for ln in to_prometheus_text(reg).splitlines()
+            if ln.startswith("repro_e_f_bucket")
+        ]
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4 and lines[-1].endswith('{le="+Inf"} 4')
 
     def test_headers_emitted_once_per_metric(self):
         reg = MetricsRegistry()

@@ -73,6 +73,93 @@ class TestHistogram:
         h = reg.histogram("x.y")
         assert h.count == 0
         assert h.mean == 0.0
+        assert h.as_dict() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0
+        }
+
+
+class TestHistogramQuantiles:
+    """Bucketed quantiles on the fixed log-spaced bounds."""
+
+    def test_quantiles_land_near_exact(self):
+        from repro.telemetry.registry import Histogram
+
+        h = Histogram()
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for v in values:
+            h.observe(v)
+        # Bounds are 10^(1/4) apart, so bucket interpolation stays well
+        # within a factor of the exact empirical quantile.
+        for q in (0.50, 0.95, 0.99):
+            exact = values[int(q * len(values)) - 1]
+            assert h.quantile(q) == pytest.approx(exact, rel=0.25)
+
+    def test_quantile_clamped_to_observed_range(self):
+        from repro.telemetry.registry import Histogram
+
+        h = Histogram()
+        h.observe(0.007)
+        for q in (0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.007)
+
+    def test_quantile_validates_q(self):
+        from repro.telemetry.registry import Histogram
+
+        h = Histogram()
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+        assert h.quantile(0.5) == 0.0  # empty histogram
+
+    def test_as_dict_includes_quantiles_and_sparse_buckets(self):
+        from repro.telemetry.registry import BUCKET_BOUNDS, Histogram
+
+        h = Histogram()
+        h.observe(0.5)
+        h.observe(0.5)
+        h.observe(200.0)
+        doc = h.as_dict()
+        assert {"p50", "p95", "p99", "buckets"} <= set(doc)
+        assert doc["p50"] == pytest.approx(0.5, rel=0.5)
+        assert sum(doc["buckets"].values()) == 3
+        assert len(doc["buckets"]) == 2  # sparse: only occupied buckets
+        for idx in doc["buckets"]:
+            assert 0 <= int(idx) <= len(BUCKET_BOUNDS)
+
+    def test_merge_composes_buckets_exactly(self):
+        from repro.telemetry.registry import Histogram
+
+        left, right, whole = Histogram(), Histogram(), Histogram()
+        for i, v in enumerate(x / 100.0 for x in range(1, 201)):
+            (left if i % 2 else right).observe(v)
+            whole.observe(v)
+        merged = Histogram()
+        for part in (left, right):
+            d = part.as_dict()
+            merged.merge_summary(
+                d["count"], d["sum"], d["min"], d["max"], d["buckets"]
+            )
+        assert merged.bucket_counts() == whole.bucket_counts()
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == pytest.approx(whole.quantile(q))
+
+    def test_merge_without_buckets_degrades_to_mean(self):
+        from repro.telemetry.registry import Histogram
+
+        h = Histogram()
+        h.merge_summary(4, 2.0, 0.25, 1.0)  # pre-bucket snapshot shape
+        assert h.count == 4
+        assert sum(h.bucket_counts()) == 4
+        # All four observations credited to the mean's (0.5) bucket.
+        assert max(h.bucket_counts()) == 4
+        assert h.quantile(0.5) == pytest.approx(0.5, rel=0.5)
+
+    def test_merge_rejects_out_of_range_bucket(self):
+        from repro.telemetry.registry import Histogram
+
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.merge_summary(1, 1.0, 1.0, 1.0, {"9999": 1})
 
 
 class TestNames:
