@@ -98,6 +98,30 @@ def test_simulation_engine(benchmark, setup):
     assert res.total_accesses() > 0
 
 
+def test_simulation_engine_fast(benchmark, setup):
+    """The vectorized engine on the same inputs as
+    ``test_simulation_engine`` — the two medians are the speedup the
+    engine gate (``bench_engine.py`` / ``check_engine_gate.py``) pins."""
+    from repro.simulator.fast import simulate as fast_simulate
+
+    cfg = setup["config"]
+
+    def run():
+        fs = ParallelFileSystem(
+            cfg.num_storage_nodes, cfg.chunk_elems * 1024, cfg.disk
+        )
+        return fast_simulate(
+            setup["streams"],
+            setup["hierarchy"],
+            fs,
+            latency=cfg.latency,
+            iterations_per_client=setup["mapping"].iteration_counts(),
+        )
+
+    res = benchmark(run)
+    assert res.total_accesses() > 0
+
+
 def test_simulation_engine_null_recorder(benchmark, setup):
     """Tracing hook disabled: must not measurably slow the engine down
     compared to ``test_simulation_engine`` (the recorder is normalized

@@ -1,0 +1,114 @@
+"""Engine perf + equivalence gate: fresh bench_engine vs the pinned one.
+
+Compares a freshly generated ``bench_engine.py`` document against the
+committed ``BENCH_engine.json`` baseline, cell by cell (matched on
+``(workload, version, prefetch, writeback)``):
+
+* **digests must match the baseline exactly** — the digest is the
+  shared reference/fast result hash (bench_engine aborts on a
+  reference-vs-fast mismatch, so a *baseline* mismatch means the
+  simulation semantics changed without re-pinning);
+* **the speedup must hold** — the fresh run's geomean speedup must
+  reach ``--min-speedup`` (CI uses 5x), and no single cell may fall
+  under ``--row-floor`` (catastrophic-regression catch; the write-back
+  cells keep per-access dirty bookkeeping and sit below the geomean by
+  design, which is why the per-row bar is lower).
+
+Exit code 0 when everything holds, 1 with a per-cell report otherwise::
+
+    python benchmarks/bench_engine.py -o fresh.json
+    python benchmarks/check_engine_gate.py BENCH_engine.json fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+
+def _cells(doc: dict[str, Any]) -> dict[tuple, dict[str, Any]]:
+    return {
+        (row["workload"], row["version"], row["prefetch"], row["writeback"]): row
+        for row in doc.get("rows", [])
+    }
+
+
+def compare(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    min_speedup: float,
+    row_floor: float,
+) -> list[str]:
+    """Every gate violation as a human-readable line (empty = pass)."""
+    problems: list[str] = []
+    base_cells, fresh_cells = _cells(baseline), _cells(fresh)
+    for key in base_cells.keys() - fresh_cells.keys():
+        problems.append(f"cell {key} missing from the fresh run")
+    for key in fresh_cells.keys() - base_cells.keys():
+        problems.append(f"cell {key} not in the baseline (re-pin it?)")
+    for key in sorted(base_cells.keys() & fresh_cells.keys()):
+        base, now = base_cells[key], fresh_cells[key]
+        name = f"{key[0]}/{key[1]} pf={key[2]} wb={'y' if key[3] else 'n'}"
+        if base["digest"] != now["digest"]:
+            problems.append(
+                f"{name}: DIGEST CHANGED {base['digest'][:12]} -> "
+                f"{now['digest'][:12]} (semantics drifted; re-pin only if "
+                f"intentional)"
+            )
+        if float(now["speedup"]) < row_floor:
+            problems.append(
+                f"{name}: speedup {now['speedup']:.1f}x under the "
+                f"{row_floor:g}x per-cell floor"
+            )
+    geo = float(fresh.get("geomean_speedup", 0.0))
+    if geo < min_speedup:
+        problems.append(
+            f"geomean speedup {geo:.1f}x under the required {min_speedup:g}x"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_engine.json")
+    parser.add_argument("fresh", help="freshly generated benchmark document")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required fresh geomean fast-vs-reference speedup (default 5x)",
+    )
+    parser.add_argument(
+        "--row-floor",
+        type=float,
+        default=2.0,
+        help="minimum per-cell speedup before failing outright (default 2x)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    for doc, path in ((baseline, args.baseline), (fresh, args.fresh)):
+        if doc.get("record") != "repro-bench-engine":
+            print(f"{path}: not a repro-bench-engine document")
+            return 1
+
+    problems = compare(baseline, fresh, args.min_speedup, args.row_floor)
+    checked = len(_cells(baseline))
+    if problems:
+        print(f"engine gate FAILED ({len(problems)} problem(s), {checked} cells):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(
+        f"engine gate passed: {checked} cells bit-identical, geomean "
+        f"{fresh.get('geomean_speedup'):.1f}x >= {args.min_speedup:g}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,11 @@ def _invoke(args: argparse.Namespace) -> int:
     its own repeated (workload, config, version) triples.  Without
     either flag the command runs exactly as before.
     """
+    engine = getattr(args, "engine", "")
+    if engine:
+        from repro.simulator.engines import set_default_engine
+
+        set_default_engine(engine)
     workers = getattr(args, "workers", 0)
     cache = getattr(args, "cache", "")
     if args.command == "serve" or (not workers and not cache):
@@ -920,6 +925,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(view with 'repro obs')",
     )
 
+    engine_parent = argparse.ArgumentParser(add_help=False)
+    engine_parent.add_argument(
+        "--engine",
+        default="",
+        choices=("reference", "fast"),
+        help="simulation engine: 'fast' (vectorized, default) or "
+        "'reference' (scalar oracle)",
+    )
+
     exec_parent = argparse.ArgumentParser(add_help=False)
     exec_parent.add_argument(
         "--workers",
@@ -935,7 +949,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="content-addressed result store directory (reused across runs)",
     )
 
-    experiment_parents = [log_parent, scale_parent, telemetry_parent, exec_parent]
+    experiment_parents = [
+        log_parent,
+        scale_parent,
+        telemetry_parent,
+        exec_parent,
+        engine_parent,
+    ]
 
     sub = parser.add_subparsers(dest="command", required=True, metavar="command")
 
@@ -979,7 +999,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        parents=[log_parent, scale_parent, exec_parent],
+        parents=[log_parent, scale_parent, exec_parent, engine_parent],
         help="long-lived mapping service (HTTP, coalescing, backpressure)",
     )
     p.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -1182,7 +1202,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = tsub.add_parser(
         "replay",
-        parents=[log_parent],
+        parents=[log_parent, engine_parent],
         help="re-simulate an artifact (optionally under what-if overrides)",
     )
     p.add_argument("artifact", help="recorded artifact path")
@@ -1328,7 +1348,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = ssub.add_parser(
         "run",
-        parents=[log_parent, scale_parent, telemetry_parent, exec_parent],
+        parents=[
+            log_parent,
+            scale_parent,
+            telemetry_parent,
+            exec_parent,
+            engine_parent,
+        ],
         help="execute one scenario through the exec runtime",
     )
     p.add_argument("scenario", help="registered name or spec file (.json/.yaml)")

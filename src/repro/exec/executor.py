@@ -68,14 +68,24 @@ def task_payload(
     ``scenario`` is a scenario-spec fingerprint; when present the worker
     routes the payload through :mod:`repro.scenario.runner` instead of
     the suite workload builders.
+
+    The payload pins the simulation engine: when the caller's engine
+    options do not name one, the parent process's default is stamped in,
+    so pool workers (which boot with their own default) reproduce the
+    parent's choice exactly — and the payload matches the
+    :class:`~repro.exec.keys.ExperimentKey` identity, which stamps the
+    same default.
     """
+    from repro.simulator.engines import get_default_engine
     from repro.util.fingerprint import config_fingerprint
 
+    engine_doc = dict(engine or {})
+    engine_doc.setdefault("engine", get_default_engine())
     payload = {
         "workload": workload,
         "version": version,
         "config": config_fingerprint(config),
-        "engine": dict(engine or {}),
+        "engine": engine_doc,
         "collect_metrics": collect_metrics,
     }
     if scenario is not None:
@@ -100,7 +110,11 @@ def _execute_payload(payload: dict[str, Any]):
     if sync_counts is not None:
         sync_counts = {int(c): int(n) for c, n in sync_counts.items()}
     return run_experiment(
-        workload, config, payload["version"], sync_counts=sync_counts
+        workload,
+        config,
+        payload["version"],
+        sync_counts=sync_counts,
+        engine=engine.get("engine"),
     )
 
 

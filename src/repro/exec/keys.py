@@ -35,7 +35,10 @@ __all__ = ["KEY_SCHEMA_VERSION", "ExperimentKey", "experiment_key"]
 #: Bump when the key derivation changes; digests embed this version.
 #: v2: config fingerprints grew the per-level ``policies`` field and
 #: engine options are canonicalised by :mod:`repro.util.fingerprint`.
-KEY_SCHEMA_VERSION = 2
+#: v3: engine options always name the simulation engine
+#: (``reference``/``fast``), stamped from the process default when the
+#: caller does not pin one.
+KEY_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,7 @@ from repro.polyhedral.arrays import DataSpace, DiskArray
 from repro.polyhedral.iterspace import IterationSpace
 from repro.polyhedral.nest import LoopNest
 from repro.polyhedral.references import ArrayRef
-from repro.simulator.engine import simulate
+from repro.simulator.engines import resolve_engine
 from repro.simulator.streams import build_client_streams
 from repro.storage.filesystem import ParallelFileSystem
 from repro.util.rng import make_rng
@@ -93,7 +93,7 @@ def _simulate_streams(streams, config: SystemConfig, iterations, sync_counts=Non
     fs = ParallelFileSystem(
         config.num_storage_nodes, config.chunk_elems * 1024, config.disk
     )
-    return simulate(
+    return resolve_engine(None)(
         streams,
         hierarchy,
         fs,

@@ -204,11 +204,12 @@ def run_scenario_payload(
     streams come from the generator or trace the fingerprint names —
     and the engine simulates them against the config's hierarchy.
     """
-    from repro.simulator.engine import simulate
+    from repro.simulator.engines import resolve_engine
     from repro.simulator.metrics import ExperimentResult
     from repro.storage.filesystem import ParallelFileSystem
     from repro.telemetry import phase
 
+    simulate = resolve_engine((payload.get("engine") or {}).get("engine"))
     scen = payload["scenario"]
     kind = scen["kind"]
     params = scen.get("params") or {}

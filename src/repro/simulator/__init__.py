@@ -10,7 +10,14 @@ one (workload, topology, mapper) experiment end to end.
 """
 
 from repro.simulator.streams import build_client_streams
-from repro.simulator.engine import LatencyModel, simulate
+from repro.simulator.engine import LatencyModel
+from repro.simulator.engines import (
+    ENGINE_NAMES,
+    get_default_engine,
+    resolve_engine,
+    set_default_engine,
+    simulate,
+)
 from repro.simulator.metrics import SimulationResult, ExperimentResult
 from repro.simulator.runner import (
     run_experiment,
@@ -24,6 +31,10 @@ __all__ = [
     "build_client_streams",
     "LatencyModel",
     "simulate",
+    "ENGINE_NAMES",
+    "get_default_engine",
+    "set_default_engine",
+    "resolve_engine",
     "SimulationResult",
     "ExperimentResult",
     "run_experiment",

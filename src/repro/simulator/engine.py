@@ -150,12 +150,18 @@ def simulate(
     hit_cost = [latency.hit_cost(l) for l in range(num_levels)]
     miss_base = hit_cost[-1]  # all levels probed before going to disk
     stride = filesystem.num_storage_nodes  # next block on the same disk
+    # The prefetch bound comes from the declared data-space size when the
+    # caller provides it (every production caller does); the fallback
+    # scan over the streams runs only when prefetching will actually
+    # consult the bound — never as a silent per-call tax.
     if num_data_chunks is not None:
         max_chunk = num_data_chunks - 1
-    else:
+    elif prefetch_degree:
         max_chunk = max(
             (int(s.max()) for s in streams.values() if len(s)), default=0
         )
+    else:
+        max_chunk = 0  # never consulted without prefetching
 
     client_list, pos_list = interleave_order([len(streams[c]) for c in range(k)])
     # Python-level hot loop: pre-extract to lists for speed.

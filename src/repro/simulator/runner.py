@@ -24,7 +24,7 @@ from repro.core.baselines import IntraProcessorMapper, OriginalMapper
 from repro.core.mapper import InterProcessorMapper
 from repro.core.mapping import Mapping
 from repro.hierarchy.topology import CacheHierarchy
-from repro.simulator.engine import simulate
+from repro.simulator.engines import resolve_engine
 from repro.simulator.metrics import ExperimentResult
 from repro.simulator.streams import (
     build_client_streams,
@@ -129,6 +129,7 @@ def run_experiment(
     version: str,
     sync_counts: dict[int, int] | None = None,
     recorder: "TraceRecorder | None" = None,
+    engine: str | None = None,
 ) -> ExperimentResult:
     """Map and simulate one workload under one version.
 
@@ -136,9 +137,11 @@ def run_experiment(
     sets (paper §3 — parallelization is orthogonal); the §5.4
     dependence experiments pass explicit ``sync_counts``.  An optional
     ``recorder`` receives the simulation's event trace
-    (:mod:`repro.trace`).
+    (:mod:`repro.trace`).  ``engine`` selects the simulation engine
+    (``reference``/``fast``); ``None`` uses the process default.
     """
     prep = prepare_experiment(workload, config, version)
+    simulate = resolve_engine(engine)
     with phase("simulate"):
         sim = simulate(
             prep.streams,

@@ -25,7 +25,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.experiments.config import DEFAULT_CONFIG, SystemConfig
-from repro.simulator.engine import LatencyModel, simulate
+from repro.simulator.engine import LatencyModel
+from repro.simulator.engines import resolve_engine
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.runner import prepare_experiment
 from repro.storage.filesystem import ParallelFileSystem
@@ -197,6 +198,7 @@ def replay(
     latency: LatencyModel | None = None,
     prefetch_degree: int | None = None,
     recorder=None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Re-simulate a recorded workload without re-running the mapping.
 
@@ -204,7 +206,9 @@ def replay(
     Pass ``config`` (or individual ``hierarchy`` / ``filesystem`` /
     ``latency`` / ``prefetch_degree`` overrides) for what-if sweeps over
     cache sizes, policies, latencies or prefetching — the recorded
-    streams stay fixed, only the machine under them changes.
+    streams stay fixed, only the machine under them changes.  ``engine``
+    selects the simulation engine (``reference``/``fast``); ``None``
+    uses the process default.
     """
     if not isinstance(artifact, TraceArtifact):
         artifact = load_artifact(artifact)
@@ -223,7 +227,7 @@ def replay(
         prefetch_degree = (
             cfg.prefetch_degree if config is not None else artifact.prefetch_degree
         )
-    return simulate(
+    return resolve_engine(engine)(
         artifact.streams,
         hierarchy,
         filesystem,

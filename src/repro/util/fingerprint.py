@@ -136,8 +136,18 @@ def engine_options(
     under the reserved ``"scenario"`` key, which is how two scenarios
     differing only in spec map to distinct
     :class:`~repro.exec.keys.ExperimentKey` digests.
+
+    The simulation engine (``reference``/``fast``) is part of the
+    identity: callers that do not pin one explicitly get the process
+    default stamped in, so payloads built under one default and executed
+    under another (e.g. in a pool worker) still name the engine the
+    parent chose.
     """
     doc: dict[str, Any] = json.loads(canonical_json(dict(engine or {})))
+    if "engine" not in doc:
+        from repro.simulator.engines import get_default_engine
+
+        doc["engine"] = get_default_engine()
     if scenario is not None:
         doc["scenario"] = json.loads(canonical_json(dict(scenario)))
     return doc

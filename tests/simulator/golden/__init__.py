@@ -1,0 +1,89 @@
+"""Golden trace fixtures for the engine differential-equivalence suite.
+
+One recorded :class:`~repro.trace.replay.TraceArtifact` per suite
+workload, captured at ``scaled_config(16)`` with write-back and
+prefetching enabled (the configuration exercising every engine code
+path: write masks, dirty evictions, read-ahead), plus a pinned
+``expected.json`` of reference-engine result digests.
+
+Regenerate with ``PYTHONPATH=src python tests/simulator/golden/regenerate.py``
+after any *intentional* engine-semantics change; an unintentional digest
+drift is exactly what the suite exists to catch.
+"""
+
+import hashlib
+import json
+import pathlib
+from dataclasses import replace
+
+from repro.experiments.config import scaled_config
+from repro.util.fingerprint import canonical_json
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+EXPECTED_PATH = GOLDEN_DIR / "expected.json"
+
+#: The recorded mapper version (the paper's best performer).
+GOLDEN_VERSION = "inter+sched"
+
+
+def golden_config():
+    """The configuration every golden artifact was recorded under."""
+    return replace(scaled_config(16), writeback=True, prefetch_degree=2)
+
+
+def golden_path(workload: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{workload}.npz"
+
+
+def golden_workloads() -> list[str]:
+    """Workloads with a checked-in artifact (sorted for stable params)."""
+    return sorted(p.stem for p in GOLDEN_DIR.glob("*.npz"))
+
+
+def sim_digest(sim) -> str:
+    """Hex SHA-256 over the full serialised simulation result.
+
+    Covers every field ``result_to_dict`` round-trips — per-level stats,
+    per-client latencies, disk counters — so two engines matching this
+    digest agree bit for bit, not just on headline counters.
+    """
+    from repro.simulator.serialization import _sim_to_dict
+
+    material = canonical_json(_sim_to_dict(sim))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def machine_digest(hierarchy, filesystem) -> str:
+    """Hex SHA-256 over the post-run machine state.
+
+    Residency *order* matters: it encodes each policy's internal
+    recency/insertion structure, so matching digests prove the engines
+    left every cache and disk in the same state, victim for victim.
+    """
+    state = []
+    for name in hierarchy.level_names():
+        for cache in hierarchy.caches_at_level(name):
+            state.append(
+                {
+                    "name": cache.name,
+                    "resident": [int(c) for c in cache.resident_chunks()],
+                    "stats": cache.stats.as_dict(),
+                }
+            )
+    for d in filesystem.disks:
+        state.append(
+            {
+                "reads": d.reads,
+                "writes": d.writes,
+                "sequential_reads": d.sequential_reads,
+                "busy_ms": d.busy_ms,
+                "last_block": d._last_block,
+            }
+        )
+    material = canonical_json(state)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def load_expected() -> dict:
+    with open(EXPECTED_PATH, encoding="utf-8") as f:
+        return json.load(f)

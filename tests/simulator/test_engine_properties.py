@@ -148,6 +148,44 @@ def test_interleave_order_is_round_grouped_permutation(lengths):
         assert [p for cc, p in served if cc == c] == list(range(n))
 
 
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 20), max_size=8))
+def test_interleave_order_is_deterministic(lengths):
+    """Same lengths, same order — the schedule carries no hidden state."""
+    from repro.simulator.engine import interleave_order
+
+    c1, p1 = interleave_order(lengths)
+    c2, p2 = interleave_order(lengths)
+    assert (c1 == c2).all() and (p1 == p2).all()
+    assert len(c1) == len(p1) == sum(lengths)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 20), max_size=8))
+def test_interleave_per_client_share_is_exact(lengths):
+    """Each client appears exactly its stream-length many times."""
+    from repro.simulator.engine import interleave_order
+
+    clients, _ = interleave_order(lengths)
+    counts = np.bincount(clients, minlength=len(lengths))
+    assert counts.tolist() == list(lengths)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 20), max_size=8))
+def test_fast_engine_interleave_memo_matches_reference(lengths):
+    """The fast engine's memoized schedule is the reference schedule —
+    same arrays on first build, the identical cached objects after."""
+    from repro.simulator.engine import interleave_order
+    from repro.simulator.fast import _interleave
+
+    ref_c, ref_p = interleave_order(lengths)
+    memo_c, memo_p = _interleave(tuple(lengths))
+    assert (memo_c == ref_c).all() and (memo_p == ref_p).all()
+    again_c, again_p = _interleave(tuple(lengths))
+    assert again_c is memo_c and again_p is memo_p
+
+
 @settings(max_examples=20, deadline=None)
 @given(traces)
 def test_recorder_observes_exact_io_accounting(per_client):
