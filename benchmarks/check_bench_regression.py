@@ -1,8 +1,15 @@
-"""Perf-regression gate: a fresh scenario benchmark vs. the pinned one.
+"""Perf-regression gate: a fresh benchmark document vs. the pinned one.
 
-Compares a freshly generated ``bench_scenarios.py`` document against
-the committed ``BENCH_scenarios.json`` baseline, cell by cell
-(matched on ``(scenario, policies)``):
+Compares a freshly generated benchmark document against the committed
+baseline, cell by cell.  Two record kinds are understood:
+
+* ``repro-bench-scenarios`` (``bench_scenarios.py``) — cells matched
+  on ``(scenario, policies)``;
+* ``repro-bench-campaign`` (``bench_campaign.py``) — cells matched on
+  the campaign cell label, plus the top-level ``report_digest`` and
+  ``manifest_digest`` which must match exactly.
+
+The per-cell rules are the same for both:
 
 * **digests must match exactly** — a changed digest is a determinism
   break, not a slowdown, and always fails;
@@ -25,12 +32,26 @@ import sys
 from typing import Any
 
 
-def _cells(doc: dict[str, Any]) -> dict[tuple[str, str], dict[str, Any]]:
-    """Index rows by (scenario, canonicalised policies)."""
+KNOWN_RECORDS = ("repro-bench-scenarios", "repro-bench-campaign")
+
+#: Whole-document digests gated exactly (when the record carries them).
+DOC_DIGESTS = ("report_digest", "manifest_digest")
+
+
+def _cells(doc: dict[str, Any]) -> dict[Any, dict[str, Any]]:
+    """Index rows by their record kind's natural cell identity."""
+    if doc.get("record") == "repro-bench-campaign":
+        return {row["cell"]: row for row in doc.get("rows", [])}
     return {
         (row["scenario"], json.dumps(row["policies"])): row
         for row in doc.get("rows", [])
     }
+
+
+def _cell_name(key: Any, row: dict[str, Any]) -> str:
+    if isinstance(key, str):
+        return key
+    return f"{key[0]} / {row['policies'] or 'default'}"
 
 
 def compare(
@@ -41,6 +62,14 @@ def compare(
 ) -> list[str]:
     """Every gate violation as a human-readable line (empty = pass)."""
     problems: list[str] = []
+    for digest_field in DOC_DIGESTS:
+        if digest_field not in baseline and digest_field not in fresh:
+            continue
+        if baseline.get(digest_field) != fresh.get(digest_field):
+            problems.append(
+                f"{digest_field}: {str(baseline.get(digest_field))[:12]} -> "
+                f"{str(fresh.get(digest_field))[:12]} (determinism failure)"
+            )
     base_cells, fresh_cells = _cells(baseline), _cells(fresh)
     for key in base_cells.keys() - fresh_cells.keys():
         problems.append(f"cell {key} missing from the fresh run")
@@ -48,7 +77,7 @@ def compare(
         problems.append(f"cell {key} not in the baseline (re-pin it?)")
     for key in sorted(base_cells.keys() & fresh_cells.keys()):
         base, now = base_cells[key], fresh_cells[key]
-        name = f"{key[0]} / {base['policies'] or 'default'}"
+        name = _cell_name(key, base)
         if base["digest"] != now["digest"]:
             problems.append(
                 f"{name}: DIGEST CHANGED {base['digest'][:12]} -> "
@@ -85,9 +114,15 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.fresh) as fh:
         fresh = json.load(fh)
     for doc, path in ((baseline, args.baseline), (fresh, args.fresh)):
-        if doc.get("record") != "repro-bench-scenarios":
-            print(f"{path}: not a repro-bench-scenarios document")
+        if doc.get("record") not in KNOWN_RECORDS:
+            print(f"{path}: not one of {', '.join(KNOWN_RECORDS)}")
             return 1
+    if baseline.get("record") != fresh.get("record"):
+        print(
+            f"record mismatch: {baseline.get('record')} vs "
+            f"{fresh.get('record')}"
+        )
+        return 1
 
     problems = compare(baseline, fresh, args.tolerance, args.floor)
     checked = len(_cells(baseline))

@@ -1,0 +1,75 @@
+"""repro.campaign: declarative, resumable thousand-experiment campaigns.
+
+A campaign is a JSON/YAML document naming axes — scenarios, mapping
+versions, engines, config overrides — that expands into one
+deduplicated sweep over the exec runtime, executes in resumable
+chunks against the content-addressed result store, and folds results
+through pluggable collectors into a baseline-vs-variant comparison
+report.  See EXPERIMENTS.md for the runbook and ``examples/`` for
+ready-made specs.
+"""
+
+from repro.campaign.collectors import (
+    Collector,
+    cell_summary,
+    collector_names,
+    make_collector,
+    make_collectors,
+    register_collector,
+)
+from repro.campaign.manifest import (
+    ManifestWriter,
+    load_manifest,
+    manifest_digest,
+    new_manifest,
+)
+from repro.campaign.matrix import (
+    CampaignCell,
+    CampaignPlan,
+    apply_config_overrides,
+    expand_campaign,
+)
+from repro.campaign.report import (
+    build_report,
+    diff_manifests,
+    render_diff,
+    render_report,
+    report_digest,
+)
+from repro.campaign.runner import CampaignRun, run_campaign
+from repro.campaign.spec import (
+    CampaignSpec,
+    campaign_fingerprint,
+    campaign_from_dict,
+    campaign_to_dict,
+    load_campaign_file,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "campaign_from_dict",
+    "campaign_to_dict",
+    "campaign_fingerprint",
+    "load_campaign_file",
+    "CampaignCell",
+    "CampaignPlan",
+    "expand_campaign",
+    "apply_config_overrides",
+    "Collector",
+    "register_collector",
+    "collector_names",
+    "make_collector",
+    "make_collectors",
+    "cell_summary",
+    "new_manifest",
+    "load_manifest",
+    "manifest_digest",
+    "ManifestWriter",
+    "build_report",
+    "report_digest",
+    "render_report",
+    "diff_manifests",
+    "render_diff",
+    "CampaignRun",
+    "run_campaign",
+]

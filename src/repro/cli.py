@@ -87,6 +87,26 @@ def _default_cache_dir() -> str:
     )
 
 
+def _cache_max_bytes(args: argparse.Namespace) -> int | None:
+    """``--cache-max-bytes``, else ``$REPRO_CACHE_MAX_BYTES``, else None.
+
+    Threaded into every :class:`ResultStore` the CLI opens, so one
+    environment variable caps the store for cron jobs and CI without
+    touching each command line.
+    """
+    value = getattr(args, "cache_max_bytes", None)
+    if value is not None:
+        return value
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES", "")
+    if not env:
+        return None
+    try:
+        return int(env)
+    except ValueError:
+        _LOG.warning("ignoring non-integer REPRO_CACHE_MAX_BYTES=%r", env)
+        return None
+
+
 def _invoke(args: argparse.Namespace) -> int:
     """Run the command, inside an execution context when one is requested.
 
@@ -114,7 +134,11 @@ def _invoke(args: argparse.Namespace) -> int:
     )
 
     executor = ExperimentExecutor(workers=workers) if workers > 1 else None
-    store = ResultStore(cache) if cache else MemoryStore()
+    store = (
+        ResultStore(cache, size_cap_bytes=_cache_max_bytes(args))
+        if cache
+        else MemoryStore()
+    )
     args._store = store
     with use_execution(executor=executor, store=store):
         return args.func(args)
@@ -160,7 +184,13 @@ def _cmd_all(args: argparse.Namespace) -> int:
             len(plan),
             plan.duplicates,
         )
-        execute_plan(plan)
+        from repro.exec.progress import ProgressReporter
+
+        reporter = ProgressReporter(label="prewarm")
+        try:
+            execute_plan(plan, progress=reporter)
+        finally:
+            reporter.close()
     for name in EXPERIMENTS:
         report = EXPERIMENTS[name](config)
         _note_report(args, report)
@@ -226,7 +256,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     # Always attach a store: without one, a warm key would re-simulate
     # the moment its in-flight window closes.
-    store = ResultStore(args.cache) if args.cache else MemoryStore()
+    store = (
+        ResultStore(args.cache, size_cap_bytes=_cache_max_bytes(args))
+        if args.cache
+        else MemoryStore()
+    )
     registry = MetricsRegistry()
     declare_pipeline_metrics(registry)
     tracer = None
@@ -308,7 +342,10 @@ def _cmd_request(args: argparse.Namespace) -> int:
 def _open_store(args: argparse.Namespace):
     from repro.exec import ResultStore
 
-    return ResultStore(args.cache or _default_cache_dir())
+    return ResultStore(
+        args.cache or _default_cache_dir(),
+        size_cap_bytes=_cache_max_bytes(args),
+    )
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
@@ -327,6 +364,11 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
 
 def _cmd_cache_gc(args: argparse.Namespace) -> int:
     store = _open_store(args)
+    if args.max_bytes is None and store.size_cap_bytes is None:
+        return _fail(
+            "no byte budget: pass --max-bytes / --cache-max-bytes "
+            "or set $REPRO_CACHE_MAX_BYTES"
+        )
     before = store.stats()
     evicted = store.gc(args.max_bytes)
     after = store.stats()
@@ -343,6 +385,155 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     removed = store.clear()
     print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
     return 0
+
+
+# -- campaign commands --------------------------------------------------------------
+
+
+def _load_campaign_manifest(path: str):
+    from repro.campaign import load_manifest
+
+    try:
+        return load_manifest(path)
+    except OSError as exc:
+        raise ValueError(str(exc)) from None
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import pathlib
+
+    from repro.campaign import load_campaign_file, render_report, run_campaign
+    from repro.exec.progress import ProgressReporter
+
+    try:
+        spec = load_campaign_file(args.spec)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    reporter = ProgressReporter(label="cells")
+    try:
+        run = run_campaign(
+            spec,
+            base_config=_config_from(args),
+            manifest_path=out / "manifest.json",
+            progress=reporter,
+            chunk_size=args.chunk_size,
+        )
+    finally:
+        reporter.close()
+    (out / "report.json").write_text(
+        json_mod.dumps(run.report, indent=2, sort_keys=True) + "\n"
+    )
+    (out / "report.md").write_text(render_report(run.report))
+    manifest = run.manifest
+    statuses = ", ".join(
+        f"{status}: {n}" for status, n in run.report["statuses"].items()
+    )
+    print(
+        f"campaign {spec.name!r}: {manifest['total_cells']} cells "
+        f"({statuses}) in {manifest['wall_clock_s']}s "
+        f"({manifest['cells_per_s']} cells/s)"
+    )
+    exp = manifest.get("expansion", {})
+    if exp.get("excluded") or exp.get("duplicates"):
+        print(
+            f"  expansion: {exp.get('excluded', 0)} excluded, "
+            f"{exp.get('duplicates', 0)} duplicate keys collapsed"
+        )
+    print(f"manifest digest: {manifest['digest']}")
+    print(f"report digest: {run.report['digest']}")
+    print(f"outputs -> {out}/manifest.json, report.json, report.md")
+    if run.failed:
+        print(
+            f"FAILED cells ({len(run.failed)}): {', '.join(run.failed[:10])}"
+            + (" …" if len(run.failed) > 10 else ""),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    try:
+        doc = _load_campaign_manifest(args.manifest)
+    except ValueError as exc:
+        return _fail(str(exc))
+    counts: dict[str, int] = {}
+    for cell in doc.get("cells", {}).values():
+        status = cell.get("status", "pending")
+        counts[status] = counts.get(status, 0) + 1
+    rows = [
+        ["campaign", doc.get("name", "")],
+        ["status", doc.get("status", "")],
+        ["fingerprint", doc.get("fingerprint", "")[:16]],
+        ["cells", f"{doc.get('completed', 0)}/{doc.get('total_cells', 0)}"],
+    ]
+    for status in ("cached", "simulated", "failed", "pending"):
+        if counts.get(status):
+            rows.append([f"  {status}", counts[status]])
+    if doc.get("wall_clock_s") is not None:
+        rows.append(["wall clock", f"{doc['wall_clock_s']}s"])
+        rows.append(["cells/s", doc.get("cells_per_s")])
+    events = doc.get("events", [])
+    rows.append(["exec events", len(events)])
+    store = doc.get("store", {})
+    for phase_name in ("before", "after"):
+        if phase_name in store:
+            s = store[phase_name]
+            rows.append(
+                [
+                    f"store {phase_name}",
+                    f"{s.get('entries', 0)} entries, {s.get('bytes', 0)} bytes",
+                ]
+            )
+    print(format_table(["field", "value"], rows, title="Campaign"))
+    for event in events:
+        kind = event.get("kind", "?")
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(event.items()) if k != "kind"
+        )
+        print(f"  event: {kind}" + (f" ({detail})" if detail else ""))
+    failed = [
+        label
+        for label, cell in sorted(doc.get("cells", {}).items())
+        if cell.get("status") == "failed"
+    ]
+    for label in failed:
+        print(f"  failed: {label}")
+    return 1 if failed else 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.campaign import build_report, render_report
+
+    try:
+        doc = _load_campaign_manifest(args.manifest)
+    except ValueError as exc:
+        return _fail(str(exc))
+    report = build_report(doc)
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    print(f"report digest: {report['digest']}", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_diff(args: argparse.Namespace) -> int:
+    from repro.campaign import diff_manifests, render_diff
+
+    try:
+        doc_a = _load_campaign_manifest(args.manifest_a)
+        doc_b = _load_campaign_manifest(args.manifest_b)
+    except ValueError as exc:
+        return _fail(str(exc))
+    diff = diff_manifests(doc_a, doc_b)
+    print(render_diff(diff))
+    return 0 if diff["identical"] else 1
 
 
 # -- metrics commands ---------------------------------------------------------------
@@ -948,6 +1139,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="content-addressed result store directory (reused across runs)",
     )
+    exec_parent.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the store past this size after each write "
+        "(default: $REPRO_CACHE_MAX_BYTES, else unbounded)",
+    )
 
     experiment_parents = [
         log_parent,
@@ -1101,6 +1300,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="store directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    cache_parent.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="treat the store as capped at this size "
+        "(default: $REPRO_CACHE_MAX_BYTES)",
+    )
 
     p = csub.add_parser(
         "stats",
@@ -1117,8 +1324,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-bytes",
         type=int,
-        required=True,
-        help="evict least-recently-used entries until the store fits this size",
+        default=None,
+        help="evict least-recently-used entries until the store fits this "
+        "size (default: --cache-max-bytes / $REPRO_CACHE_MAX_BYTES)",
     )
     p.set_defaults(func=_cmd_cache_gc)
 
@@ -1371,6 +1579,70 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-level replacement policies, leaf first (e.g. lru,rrip,arc)",
     )
     p.set_defaults(func=_cmd_scenario_run)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="resumable experiment campaigns: matrix specs, manifests, reports",
+    )
+    camp_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True, metavar="action"
+    )
+
+    p = camp_sub.add_parser(
+        "run",
+        parents=[
+            log_parent,
+            scale_parent,
+            telemetry_parent,
+            exec_parent,
+            engine_parent,
+        ],
+        help="execute a campaign spec; write manifest + comparison report",
+    )
+    p.add_argument("spec", help="campaign spec file (.json/.yaml)")
+    p.add_argument(
+        "-o",
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory for manifest.json, report.json, report.md",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="cells per manifest checkpoint (default: 16)",
+    )
+    p.set_defaults(func=_cmd_campaign_run)
+
+    p = camp_sub.add_parser(
+        "status",
+        parents=[log_parent],
+        help="summarise a (possibly still-running) campaign manifest",
+    )
+    p.add_argument("manifest", help="manifest.json path or its directory")
+    p.set_defaults(func=_cmd_campaign_status)
+
+    p = camp_sub.add_parser(
+        "report",
+        parents=[log_parent],
+        help="regenerate the comparison report from a manifest",
+    )
+    p.add_argument("manifest", help="manifest.json path or its directory")
+    p.add_argument(
+        "--json", action="store_true", help="print the report document as JSON"
+    )
+    p.set_defaults(func=_cmd_campaign_report)
+
+    p = camp_sub.add_parser(
+        "diff",
+        parents=[log_parent],
+        help="compare two campaign manifests cell by cell",
+    )
+    p.add_argument("manifest_a", help="baseline manifest.json (or directory)")
+    p.add_argument("manifest_b", help="comparison manifest.json (or directory)")
+    p.set_defaults(func=_cmd_campaign_diff)
 
     return parser
 

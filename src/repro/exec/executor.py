@@ -186,8 +186,19 @@ class SerialExecutor:
 
     workers = 1
 
-    def run_payloads(self, payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
-        return [run_payload(p) for p in payloads]
+    def run_payloads(
+        self, payloads: list[dict[str, Any]], on_result=None
+    ) -> list[dict[str, Any]]:
+        out = []
+        for i, p in enumerate(payloads):
+            out.append(run_payload(p))
+            if on_result is not None:
+                on_result(i)
+        return out
+
+    def pop_events(self) -> list[dict[str, Any]]:
+        """Serial execution has no degradation events; interface parity."""
+        return []
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -231,8 +242,20 @@ class ExperimentExecutor:
         self.retries = retries
         self.backoff_s = backoff_s
         self._mp_context = mp_context
+        #: Degradation/retry records since the last :meth:`pop_events`
+        #: drain — campaign manifests persist these beside the metrics,
+        #: so "why did this run go serial?" survives the process.
+        self._events: list[dict[str, Any]] = []
 
     # -- internals ----------------------------------------------------------------
+
+    def _event(self, kind: str, **fields: Any) -> None:
+        self._events.append({"kind": kind, **fields})
+
+    def pop_events(self) -> list[dict[str, Any]]:
+        """Drain accumulated degradation/retry event records."""
+        events, self._events = self._events, []
+        return events
 
     def _make_pool(self) -> ProcessPoolExecutor | None:
         try:
@@ -245,6 +268,9 @@ class ExperimentExecutor:
                 type(exc).__name__,
                 exc,
             )
+            self._event(
+                "pool-unavailable", error=f"{type(exc).__name__}: {exc}"
+            )
             return None
 
     def _retry_in_process(
@@ -255,6 +281,12 @@ class ExperimentExecutor:
         for attempt in range(self.retries):
             time.sleep(self.backoff_s * (2**attempt))
             reg.counter("exec.retries").inc()
+            self._event(
+                "retry",
+                task=f"{payload.get('workload')}/{payload.get('version')}",
+                attempt=attempt + 1,
+                error=f"{type(last).__name__}: {last}",
+            )
             try:
                 return run_payload(payload)
             except Exception as exc:  # noqa: BLE001 - preserved as cause
@@ -267,15 +299,31 @@ class ExperimentExecutor:
 
     # -- public API ---------------------------------------------------------------
 
-    def run_payloads(self, payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
-        """Execute payloads, returning results in payload order."""
+    def run_payloads(
+        self, payloads: list[dict[str, Any]], on_result=None
+    ) -> list[dict[str, Any]]:
+        """Execute payloads, returning results in payload order.
+
+        ``on_result(i)`` (optional) fires as payload ``i``'s result
+        lands — in submission order on the pool path — so callers can
+        report live progress without waiting for the whole batch.
+        """
         reg = get_registry()
         reg.gauge("exec.workers").set(self.workers)
+
+        def _serial() -> list[dict[str, Any]]:
+            out = []
+            for i, p in enumerate(payloads):
+                out.append(run_payload(p))
+                if on_result is not None:
+                    on_result(i)
+            return out
+
         if self.workers <= 1 or len(payloads) <= 1:
-            return [run_payload(p) for p in payloads]
+            return _serial()
         pool = self._make_pool()
         if pool is None:
-            return [run_payload(p) for p in payloads]
+            return _serial()
         out: list[dict[str, Any] | None] = [None] * len(payloads)
         failed: list[tuple[int, BaseException]] = []
         timed_out = False
@@ -287,6 +335,8 @@ class ExperimentExecutor:
                 try:
                     out[i] = fut.result(timeout=self.task_timeout_s)
                     reg.counter("exec.tasks.completed").inc()
+                    if on_result is not None:
+                        on_result(i)
                 except FutureTimeoutError as exc:
                     timed_out = True
                     reg.counter("exec.timeouts").inc()
@@ -297,11 +347,18 @@ class ExperimentExecutor:
                         payloads[i].get("version"),
                         self.task_timeout_s or 0.0,
                     )
+                    self._event(
+                        "timeout",
+                        task=f"{payloads[i].get('workload')}"
+                        f"/{payloads[i].get('version')}",
+                        timeout_s=self.task_timeout_s,
+                    )
                     failed.append((i, exc))
                 except BrokenExecutor as exc:
                     _LOG.warning(
                         "process pool broke (%s); degrading to in-process", exc
                     )
+                    self._event("broken-pool", error=str(exc) or type(exc).__name__)
                     failed.append((i, exc))
                 except Exception as exc:  # noqa: BLE001 - retried below
                     failed.append((i, exc))
@@ -315,6 +372,8 @@ class ExperimentExecutor:
         for i, exc in failed:
             out[i] = self._retry_in_process(payloads[i], exc)
             reg.counter("exec.tasks.completed").inc()
+            if on_result is not None:
+                on_result(i)
         return out  # type: ignore[return-value]
 
     def __repr__(self) -> str:

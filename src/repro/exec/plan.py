@@ -126,6 +126,8 @@ def execute_plan(
     plan: SweepPlan | Iterable[ExperimentTask],
     executor=None,
     store=None,
+    progress: Callable[[int, int], None] | None = None,
+    outcomes: dict[str, str] | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run a plan, consulting the store first: ``{key digest: result}``.
 
@@ -134,12 +136,21 @@ def execute_plan(
     in-process.  Results — cached or fresh — all pass through the same
     ``result_to_dict`` round-trip, so the output is bit-identical
     regardless of worker count or cache temperature.
+
+    ``progress(done, total)`` fires once per task as its result becomes
+    available (store hits first, then simulations as they land), so the
+    campaign runner and ``repro all`` can show live completion without
+    polling.  ``outcomes``, when given, is filled with
+    ``{key digest: "cached" | "simulated"}`` — the provenance each
+    campaign manifest cell records.
     """
     ctx = get_execution()
     executor = executor if executor is not None else ctx.executor
     store = store if store is not None else ctx.store
     tracer = get_tracer()
     tasks = list(plan)
+    total = len(tasks)
+    done = 0
     results: dict[str, ExperimentResult] = {}
     misses: list[ExperimentTask] = []
     for t in tasks:
@@ -151,6 +162,11 @@ def execute_plan(
             cached = None
         if cached is not None:
             results[t.key.digest] = cached
+            if outcomes is not None:
+                outcomes[t.key.digest] = "cached"
+            done += 1
+            if progress is not None:
+                progress(done, total)
         else:
             misses.append(t)
     if misses:
@@ -188,7 +204,16 @@ def execute_plan(
                         "trace_id": parent.trace_id if parent else None,
                         "parent_id": parent.span_id if parent else None,
                     }
-            outs = ex.run_payloads(payloads)
+            if progress is not None:
+                base = done
+
+                def _tick(_i: int, _n: list[int] = [0]) -> None:
+                    _n[0] += 1
+                    progress(base + _n[0], total)
+
+                outs = ex.run_payloads(payloads, on_result=_tick)
+            else:
+                outs = ex.run_payloads(payloads)
         for t, out in zip(misses, outs):
             if collect and out.get("metrics"):
                 reg.merge_snapshot(out["metrics"])
@@ -199,6 +224,8 @@ def execute_plan(
                 with span("store.put", digest=t.key.digest[:12]):
                     store.put(t.key, result)
             results[t.key.digest] = result
+            if outcomes is not None:
+                outcomes[t.key.digest] = "simulated"
     return results
 
 

@@ -1,0 +1,235 @@
+"""Matrix expansion: products, pairings, exclusions, dedup — with
+Hypothesis properties over randomly-composed specs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import campaign_from_dict, expand_campaign
+from repro.campaign.matrix import NO_AXIS, apply_config_overrides
+from repro.experiments.config import scaled_config
+
+WORKLOADS = ["hf", "sar", "contour", "astro"]
+VERSIONS = ["original", "intra", "inter", "inter+sched"]
+ENGINES = ["fast", "reference"]
+
+
+def make_spec(
+    scenarios=("hf",),
+    versions=("original",),
+    engines=("fast",),
+    configs=None,
+    pairings=None,
+    exclude=None,
+):
+    doc = {
+        "record": "repro-campaign",
+        "name": "m",
+        "scale": 16,
+        "axes": {
+            "scenarios": list(scenarios),
+            "versions": list(versions),
+            "engines": list(engines),
+        },
+    }
+    if configs is not None:
+        doc["axes"]["configs"] = configs
+    if pairings is not None:
+        doc["pairings"] = pairings
+    if exclude is not None:
+        doc["exclude"] = exclude
+    return campaign_from_dict(doc)
+
+
+class TestExpansion:
+    def test_full_product(self):
+        plan = expand_campaign(
+            make_spec(scenarios=["hf", "sar"], versions=["original", "inter"])
+        )
+        assert len(plan.cells) == 4
+        assert len(plan.plan) == 4
+        labels = [c.label for c in plan.cells]
+        assert "hf/original/fast/default" in labels
+        assert "sar/inter/fast/default" in labels
+
+    def test_exclusion(self):
+        plan = expand_campaign(
+            make_spec(
+                scenarios=["hf", "sar"],
+                versions=["original", "inter"],
+                exclude=[{"scenario": "sar", "version": "inter"}],
+            )
+        )
+        assert len(plan.cells) == 3
+        assert plan.excluded == 1
+        assert all(c.label != "sar/inter/fast/default" for c in plan.cells)
+
+    def test_exclusion_list_values(self):
+        plan = expand_campaign(
+            make_spec(
+                scenarios=["hf", "sar"],
+                versions=["original", "inter"],
+                exclude=[{"version": ["inter"]}],
+            )
+        )
+        assert {c.coord("version") for c in plan.cells} == {"original"}
+
+    def test_pairing_adds_a_cell(self):
+        plan = expand_campaign(
+            make_spec(pairings=[{"scenario": "hf", "version": "inter"}])
+        )
+        assert len(plan.cells) == 2
+        assert any(c.coord("version") == "inter" for c in plan.cells)
+
+    def test_pairing_duplicate_of_product_collapses(self):
+        plan = expand_campaign(
+            make_spec(pairings=[{"scenario": "hf", "version": "original"}])
+        )
+        assert len(plan.cells) == 1
+        assert plan.duplicates == 1
+
+    def test_generator_scenario_collapses_version_axis(self):
+        plan = expand_campaign(
+            make_spec(
+                scenarios=["hf", "zipf-hot"],
+                versions=["original", "inter"],
+            )
+        )
+        zipf_cells = [c for c in plan.cells if c.coord("scenario") == "zipf-hot"]
+        assert len(zipf_cells) == 1
+        assert zipf_cells[0].coord("version") == NO_AXIS
+        hf_cells = [c for c in plan.cells if c.coord("scenario") == "hf"]
+        assert len(hf_cells) == 2
+
+    def test_config_axis_changes_keys(self):
+        plan = expand_campaign(
+            make_spec(
+                configs=[
+                    {"name": "default"},
+                    {"name": "small", "cache_elems": [256, 512, 1024]},
+                ]
+            )
+        )
+        assert len(plan.cells) == 2
+        digests = {c.key_digest for c in plan.cells}
+        assert len(digests) == 2
+
+    def test_noop_config_override_collapses(self):
+        base = scaled_config(16)
+        plan = expand_campaign(
+            make_spec(
+                configs=[
+                    {"name": "default"},
+                    {"name": "same", "cache_elems": list(base.cache_elems)},
+                ]
+            ),
+            base_config=base,
+        )
+        # Same effective config -> same key -> one cell.
+        assert len(plan.cells) == 1
+        assert plan.duplicates == 1
+
+    def test_engine_axis_distinct_keys(self):
+        plan = expand_campaign(make_spec(engines=["fast", "reference"]))
+        assert len(plan.cells) == 2
+
+    def test_base_config_overrides_spec_scale(self):
+        spec = make_spec()
+        a = expand_campaign(spec)
+        b = expand_campaign(spec, base_config=scaled_config(8))
+        assert a.cells[0].key_digest != b.cells[0].key_digest
+
+
+class TestOverrides:
+    def test_apply_overrides(self):
+        base = scaled_config(16)
+        cfg = apply_config_overrides(
+            base,
+            {
+                "name": "x",
+                "cache_elems": [8, 16, 32],
+                "prefetch_degree": 7,
+                "policy": "arc",
+            },
+        )
+        assert cfg.cache_elems == (8, 16, 32)
+        assert cfg.prefetch_degree == 7
+        assert cfg.policy == "arc"
+
+    def test_name_only_is_identity(self):
+        base = scaled_config(16)
+        assert apply_config_overrides(base, {"name": "default"}) is base
+
+
+# -- Hypothesis properties ----------------------------------------------------------
+
+axis_subset = lambda pool: st.lists(
+    st.sampled_from(pool), min_size=1, max_size=len(pool), unique=True
+)
+
+partial_coords = st.dictionaries(
+    keys=st.sampled_from(["scenario", "version", "engine"]),
+    values=st.sampled_from(WORKLOADS + VERSIONS + ENGINES),
+    min_size=1,
+    max_size=2,
+)
+
+
+@st.composite
+def spec_docs(draw):
+    scenarios = draw(axis_subset(WORKLOADS))
+    versions = draw(axis_subset(VERSIONS))
+    engines = draw(axis_subset(ENGINES))
+    exclude = draw(st.lists(partial_coords, max_size=2))
+    # Keep only excludes whose values name real axis labels; arbitrary
+    # labels are legal (they just match nothing).
+    doc = {
+        "record": "repro-campaign",
+        "name": "prop",
+        "scale": 16,
+        "axes": {
+            "scenarios": scenarios,
+            "versions": versions,
+            "engines": engines,
+        },
+        "exclude": exclude,
+    }
+    return doc
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec_docs())
+def test_expansion_invariants(doc):
+    spec = campaign_from_dict(doc)
+    plan = expand_campaign(spec)
+    n_product = (
+        len(doc["axes"]["scenarios"])
+        * len(doc["axes"]["versions"])
+        * len(doc["axes"]["engines"])
+    )
+    # Conservation: every product combo is a cell, excluded, or a dup.
+    assert len(plan.cells) + plan.excluded + plan.duplicates == n_product
+    # Key digests are unique (the dedup invariant) and 1:1 with plan tasks.
+    digests = [c.key_digest for c in plan.cells]
+    assert len(set(digests)) == len(digests)
+    assert {t.key.digest for t in plan.plan.tasks} == set(digests)
+    # Labels are unique too (they name manifest cells).
+    labels = [c.label for c in plan.cells]
+    assert len(set(labels)) == len(labels)
+    # Exclusion soundness: no surviving cell matches any exclude filter.
+    for cell in plan.cells:
+        coords = dict(cell.coords)
+        for f in spec.exclude_entries():
+            assert not all(
+                coords.get(axis) == v
+                if isinstance(v, str)
+                else coords.get(axis) in v
+                for axis, v in f.items()
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec_docs())
+def test_expansion_deterministic(doc):
+    a = expand_campaign(campaign_from_dict(doc))
+    b = expand_campaign(campaign_from_dict(doc))
+    assert [c.as_dict() for c in a.cells] == [c.as_dict() for c in b.cells]

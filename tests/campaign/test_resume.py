@@ -1,0 +1,179 @@
+"""Kill a campaign mid-run, resume it, and prove nothing was lost.
+
+The contract under test: results reach the content-addressed store
+before the manifest mentions them, so a SIGKILL at any instant loses
+at most in-flight work.  The resumed run must (a) simulate only the
+cells the store is actually missing and (b) produce manifest and
+report digests identical to an uninterrupted run.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+#: 8 workloads x 4 versions x 2 engines = 64 cells; the reference
+#: engine's half keeps the wall clock long enough to kill reliably.
+SPEC = {
+    "record": "repro-campaign",
+    "spec_version": 1,
+    "name": "kill-test",
+    "scale": 16,
+    "axes": {
+        "scenarios": [
+            "hf",
+            "sar",
+            "contour",
+            "astro",
+            "e_elem",
+            "apsi",
+            "madbench2",
+            "wupwise",
+        ],
+        "versions": ["original", "intra", "inter", "inter+sched"],
+        "engines": ["fast", "reference"],
+    },
+    "baseline": {"axis": "version", "value": "original"},
+}
+
+
+def campaign_cmd(spec_path, out_dir, cache_dir, telemetry=""):
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "campaign",
+        "run",
+        str(spec_path),
+        "-o",
+        str(out_dir),
+        "--cache",
+        str(cache_dir),
+        "--chunk-size",
+        "4",
+    ]
+    if telemetry:
+        cmd += ["--telemetry", str(telemetry)]
+    return cmd
+
+
+def run_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def store_entries(cache_dir: pathlib.Path) -> int:
+    return sum(1 for _ in cache_dir.rglob("*.json")) if cache_dir.exists() else 0
+
+
+def counter(telemetry_path, name) -> int:
+    doc = json.loads(pathlib.Path(telemetry_path).read_text())
+    for c in doc["metrics"]["counters"]:
+        if c["name"] == name:
+            return c["value"]
+    return 0
+
+
+@pytest.mark.slow
+def test_hard_kill_then_resume(tmp_path):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    cache = tmp_path / "cache"
+    out_killed = tmp_path / "killed"
+
+    # -- first run: SIGKILL once a few cells have landed in the store.
+    proc = subprocess.Popen(
+        campaign_cmd(spec_path, out_killed, cache),
+        cwd=REPO,
+        env=run_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 120
+    try:
+        while store_entries(cache) < 6:
+            if proc.poll() is not None:
+                pytest.fail(
+                    f"campaign finished (rc={proc.returncode}) before the "
+                    "kill threshold; raise the cell count"
+                )
+            if time.monotonic() > deadline:
+                pytest.fail("store never reached the kill threshold")
+            time.sleep(0.002)
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    warm = store_entries(cache)
+    assert 0 < warm < 64, f"kill landed at {warm} entries; wanted mid-run"
+
+    # The atomically-written manifest (if any checkpoint happened) is
+    # readable and internally consistent even after SIGKILL.
+    manifest_path = out_killed / "manifest.json"
+    if manifest_path.exists():
+        doc = json.loads(manifest_path.read_text())
+        assert doc["record"] == "repro-campaign-manifest"
+        assert doc["status"] == "running"
+        done = [
+            c for c in doc["cells"].values() if c.get("status") != "pending"
+        ]
+        # Store-first ordering: every cell the manifest claims is done
+        # is genuinely in the store (manifest never runs ahead).
+        assert len(done) <= warm
+
+    # -- resumed run: must simulate exactly the missing cells.
+    out_resumed = tmp_path / "resumed"
+    tele = tmp_path / "resumed-tele.json"
+    resumed = subprocess.run(
+        campaign_cmd(spec_path, out_resumed, cache, telemetry=tele),
+        cwd=REPO,
+        env=run_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert resumed.returncode == 0, resumed.stderr[-2000:]
+    missing = 64 - warm
+    assert counter(tele, "simulator.simulations") == missing
+    assert counter(tele, "exec.store.hits") == warm
+
+    resumed_doc = json.loads((out_resumed / "manifest.json").read_text())
+    statuses = {}
+    for cell in resumed_doc["cells"].values():
+        statuses[cell["status"]] = statuses.get(cell["status"], 0) + 1
+    assert statuses == {"cached": warm, "simulated": missing}
+
+    # -- uninterrupted run in a fresh cache: identical identity.
+    out_fresh = tmp_path / "fresh"
+    fresh = subprocess.run(
+        campaign_cmd(spec_path, out_fresh, tmp_path / "cache2"),
+        cwd=REPO,
+        env=run_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert fresh.returncode == 0, fresh.stderr[-2000:]
+    fresh_doc = json.loads((out_fresh / "manifest.json").read_text())
+    assert resumed_doc["digest"] == fresh_doc["digest"]
+    resumed_report = json.loads((out_resumed / "report.json").read_text())
+    fresh_report = json.loads((out_fresh / "report.json").read_text())
+    assert resumed_report["digest"] == fresh_report["digest"]
+    # The markdown differs only in its status-count line (cached vs
+    # simulated — cache temperature, deliberately outside identity).
+    strip = lambda text: [
+        line
+        for line in text.splitlines()
+        if not line.startswith("- cells:")
+    ]
+    assert strip((out_resumed / "report.md").read_text()) == strip(
+        (out_fresh / "report.md").read_text()
+    )

@@ -1,0 +1,177 @@
+"""Campaign spec parsing, validation and fingerprint normalisation."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    campaign_fingerprint,
+    campaign_from_dict,
+    campaign_to_dict,
+    load_campaign_file,
+)
+from repro.campaign.spec import CAMPAIGN_SPEC_VERSION
+
+
+def base_doc(**over):
+    doc = {
+        "record": "repro-campaign",
+        "name": "t",
+        "axes": {"scenarios": ["hf"]},
+    }
+    doc.update(over)
+    return doc
+
+
+class TestParsing:
+    def test_minimal_defaults(self):
+        spec = campaign_from_dict(base_doc())
+        assert spec.versions == ("inter+sched",)
+        assert spec.engines == ("fast",)
+        assert [c["name"] for c in spec.config_entries()] == ["default"]
+        assert spec.baseline == ("version", "inter+sched")
+        assert "raw" not in spec.collectors and spec.collectors
+
+    def test_inline_scenario_doc(self):
+        doc = base_doc(
+            axes={
+                "scenarios": [
+                    "hf",
+                    {
+                        "record": "repro-scenario-spec",
+                        "name": "zipfy",
+                        "kind": "zipf",
+                        "params": {"alpha": 1.1, "requests_per_client": 500},
+                    },
+                ]
+            }
+        )
+        spec = campaign_from_dict(doc)
+        entries = spec.scenario_entries()
+        assert entries[0] == "hf"
+        assert entries[1]["name"] == "zipfy"
+
+    def test_roundtrip_normalises(self):
+        spec = campaign_from_dict(base_doc())
+        doc = campaign_to_dict(spec)
+        assert doc["spec_version"] == CAMPAIGN_SPEC_VERSION
+        assert campaign_from_dict(doc) == spec
+
+    def test_fingerprint_ignores_description_and_defaults(self):
+        explicit = base_doc(
+            description="words words",
+            axes={
+                "scenarios": ["hf"],
+                "versions": ["inter+sched"],
+                "engines": ["fast"],
+                "configs": [{"name": "default"}],
+            },
+        )
+        assert campaign_fingerprint(
+            campaign_from_dict(base_doc())
+        ) == campaign_fingerprint(campaign_from_dict(explicit))
+
+    def test_fingerprint_sees_axis_changes(self):
+        a = campaign_from_dict(base_doc())
+        b = campaign_from_dict(
+            base_doc(axes={"scenarios": ["hf"], "versions": ["original"]})
+        )
+        assert campaign_fingerprint(a) != campaign_fingerprint(b)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            ({"record": "nope"}, "record"),
+            ({"bogus": 1}, "unknown campaign keys"),
+            ({"axes": {"scenarios": []}}, "non-empty"),
+            ({"axes": {"scenarios": ["hf"], "versions": ["warp"]}}, "version"),
+            ({"axes": {"scenarios": ["hf"], "engines": ["gpu"]}}, "engine"),
+            ({"axes": {"scenarios": ["hf", "hf"]}}, "duplicate scenario"),
+            (
+                {"axes": {"scenarios": ["hf"], "configs": [{"name": "x", "zap": 1}]}},
+                "unknown override",
+            ),
+            (
+                {
+                    "axes": {"scenarios": ["hf"]},
+                    "baseline": {"axis": "flavour", "value": "x"},
+                },
+                "baseline axis",
+            ),
+            (
+                {"axes": {"scenarios": ["hf"]}, "collectors": ["nope"]},
+                "unknown collector",
+            ),
+            ({"scale": -1}, "scale"),
+            (
+                {"pairings": [{"scenario": "unregistered"}]},
+                "pairing",
+            ),
+            (
+                {"exclude": [{"flavour": "x"}]},
+                "unknown axes",
+            ),
+        ],
+    )
+    def test_rejects(self, mutate, message):
+        with pytest.raises(ValueError, match=message):
+            campaign_from_dict(base_doc(**mutate))
+
+    def test_pairing_may_leave_the_product(self):
+        # A version outside axes.versions is fine (that's what pairings
+        # are for); it must still be a real mapper version.
+        spec = campaign_from_dict(
+            base_doc(
+                axes={"scenarios": ["hf"], "versions": ["original"]},
+                pairings=[{"scenario": "hf", "version": "inter"}],
+            )
+        )
+        assert spec.pairing_entries() == [{"scenario": "hf", "version": "inter"}]
+
+    def test_exclude_accepts_lists(self):
+        spec = campaign_from_dict(
+            base_doc(exclude=[{"scenario": ["hf"], "engine": "fast"}])
+        )
+        assert spec.exclude_entries() == [{"engine": "fast", "scenario": ["hf"]}]
+
+
+class TestLoading:
+    def test_json_file(self, tmp_path):
+        p = tmp_path / "c.json"
+        p.write_text(json.dumps(base_doc()))
+        assert load_campaign_file(p).name == "t"
+
+    def test_yaml_file(self, tmp_path):
+        p = tmp_path / "c.yaml"
+        p.write_text(
+            "record: repro-campaign\nname: y\naxes:\n  scenarios: [hf, sar]\n"
+        )
+        spec = load_campaign_file(p)
+        assert spec.name == "y"
+        assert spec.scenario_entries() == ["hf", "sar"]
+
+    def test_unknown_extension(self, tmp_path):
+        p = tmp_path / "c.txt"
+        p.write_text("{}")
+        with pytest.raises(ValueError, match="format"):
+            load_campaign_file(p)
+
+    def test_error_names_the_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps(base_doc(record="nope")))
+        with pytest.raises(ValueError, match="bad.json"):
+            load_campaign_file(p)
+
+    def test_example_specs_parse(self):
+        import pathlib
+
+        examples = pathlib.Path(__file__).resolve().parents[2] / "examples"
+        for name in (
+            "figure10_campaign.json",
+            "paper_matrix_campaign.json",
+            "campaign_smoke.json",
+        ):
+            spec = load_campaign_file(examples / name)
+            assert spec.name
