@@ -1,0 +1,122 @@
+"""CI gate for the shard scale-out benchmark.
+
+Compares a fresh ``bench_shard.py`` document against the pinned
+``BENCH_shard.json`` baseline:
+
+* **Digest identity is enforced unconditionally.**  Every key's digest
+  must match the baseline, and the fresh run itself already proved the
+  1-shard and 3-shard deployments agree — routing must never change
+  what an experiment computes.
+* **The speedup floor is conditional on cores.**  "3 shards ≥ 2x one
+  shard" is a parallelism claim; on a host with fewer than
+  ``--min-cores`` CPUs (the fresh document records ``cpu_count``) the
+  workers time-share and the ratio is noise, so the floor is reported
+  but not enforced.
+
+Usage::
+
+    python benchmarks/check_shard_gate.py BENCH_shard.json fresh.json \
+        --min-speedup 2.0 --min-cores 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _key_digests(doc: dict) -> dict[tuple[str, str], str]:
+    return {
+        (k["workload"], k["version"]): k["digest"] for k in doc.get("keys", [])
+    }
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    min_speedup: float,
+    min_cores: int,
+) -> tuple[list[str], list[str]]:
+    """Returns (problems, notes); any problem fails the gate."""
+    problems: list[str] = []
+    notes: list[str] = []
+    for doc, label in ((baseline, "baseline"), (fresh, "fresh")):
+        if doc.get("record") != "repro-bench-shard":
+            problems.append(f"{label}: not a repro-bench-shard document")
+    if problems:
+        return problems, notes
+
+    base_keys = _key_digests(baseline)
+    fresh_keys = _key_digests(fresh)
+    if set(base_keys) != set(fresh_keys):
+        problems.append(
+            "key sets differ: "
+            f"baseline-only={sorted(set(base_keys) - set(fresh_keys))} "
+            f"fresh-only={sorted(set(fresh_keys) - set(base_keys))}"
+        )
+    for key in sorted(set(base_keys) & set(fresh_keys)):
+        if base_keys[key] != fresh_keys[key]:
+            problems.append(
+                f"DIGEST CHANGED for {key[0]}/{key[1]}: "
+                f"{base_keys[key][:12]} -> {fresh_keys[key][:12]}"
+            )
+
+    speedup = float(fresh.get("speedup", 0.0))
+    cores = int(fresh.get("cpu_count", 1))
+    if cores >= min_cores:
+        if speedup < min_speedup:
+            problems.append(
+                f"speedup {speedup:.2f}x below the {min_speedup:.2f}x floor "
+                f"on a {cores}-core host"
+            )
+        else:
+            notes.append(
+                f"speedup {speedup:.2f}x >= {min_speedup:.2f}x floor "
+                f"({cores} cores)"
+            )
+    else:
+        notes.append(
+            f"speedup floor skipped: host has {cores} core(s) < "
+            f"{min_cores} (measured {speedup:.2f}x)"
+        )
+    return problems, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="pinned BENCH_shard.json")
+    parser.add_argument("fresh", help="freshly generated document")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="3-shard over 1-shard throughput floor (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-cores",
+        type=int,
+        default=3,
+        help="enforce the floor only on hosts with at least this many "
+        "CPUs (default 3)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    problems, notes = compare(
+        baseline, fresh, args.min_speedup, args.min_cores
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"shard gate OK ({len(_key_digests(fresh))} keys digest-stable)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -123,8 +123,9 @@ def _invoke(args: argparse.Namespace) -> int:
         set_default_engine(engine)
     workers = getattr(args, "workers", 0)
     cache = getattr(args, "cache", "")
-    if args.command == "serve" or (not workers and not cache):
-        # serve owns its executor/store wiring (they outlive one call).
+    if args.command in ("serve", "shard") or (not workers and not cache):
+        # serve/shard own their executor/store wiring (they outlive one
+        # call); the engine default above still applies to them.
         return args.func(args)
     from repro.exec import (
         ExperimentExecutor,
@@ -301,10 +302,14 @@ def _cmd_request(args: argparse.Namespace) -> int:
     client = ServeClient(args.url, timeout=args.timeout)
     scenario = getattr(args, "scenario", "") or None
     request_id = getattr(args, "request_id", "")
+    retries = getattr(args, "retries", 0)
     try:
         if scenario is not None:
             resp = client.experiment(
-                scale=args.scale, scenario=scenario, request_id=request_id
+                scale=args.scale,
+                scenario=scenario,
+                request_id=request_id,
+                retries=retries,
             )
         else:
             resp = client.experiment(
@@ -312,6 +317,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
                 args.mapper,
                 scale=args.scale,
                 request_id=request_id,
+                retries=retries,
             )
     except ServeError as exc:
         tag = f" [request {exc.request_id}]" if exc.request_id else ""
@@ -332,7 +338,149 @@ def _cmd_request(args: argparse.Namespace) -> int:
         f"{what} via {args.url} "
         f"({resp.source or 'unknown'}, batch={resp.batch_size})",
     )
-    print(f"  digest: {resp.digest[:12]}   request id: {resp.request_id}")
+    shard = f"   shard: {resp.shard}" if resp.shard else ""
+    print(f"  digest: {resp.digest[:12]}   request id: {resp.request_id}{shard}")
+    return 0
+
+
+# -- shard commands -----------------------------------------------------------------
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer
+    from repro.shard.cluster import ShardCluster
+    from repro.telemetry import MetricsRegistry, declare_pipeline_metrics
+
+    if not args.cache:
+        return _fail(
+            "shard serve requires --cache DIR: the partition root is the "
+            "warm-handoff contract (workers re-home its entries on resize)"
+        )
+    registry = MetricsRegistry()
+    declare_pipeline_metrics(registry)
+    tracer = None
+    if args.trace or args.span_log:
+        tracer = Tracer(
+            capacity=args.span_ring, log_path=args.span_log or None
+        )
+    cluster = ShardCluster(
+        shards=args.shards,
+        root=args.cache,
+        host=args.host,
+        port=args.port,
+        workers_per_shard=max(1, args.workers),
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_wait_ms=args.batch_wait_ms,
+        request_timeout_s=args.request_timeout,
+        max_inflight=args.max_inflight,
+        default_scale=args.scale,
+        cache_max_bytes=_cache_max_bytes(args),
+        engine=args.engine,
+        registry=registry,
+        tracer=tracer,
+    )
+    try:
+        return cluster.serve_forever()
+    except RuntimeError as exc:
+        return _fail(str(exc))
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.shard.worker import build_worker
+
+    server = build_worker(
+        shard_id=args.shard_id,
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_wait_ms=args.batch_wait_ms,
+        request_timeout_s=args.request_timeout,
+        default_scale=args.scale,
+        cache_max_bytes=_cache_max_bytes(args),
+    )
+    return server.serve_forever()
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        doc = client.statusz()
+    except (ServeError, OSError) as exc:
+        return _fail(f"{args.url}: {exc}")
+    finally:
+        client.close()
+    if args.json or doc.get("record") != "repro-shard-status":
+        print(json_mod.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    ring = doc["ring"]
+    router = doc["router"]
+    totals = doc["totals"]
+    members = ", ".join(ring["members"]) or "(none)"
+    print(
+        f"cluster: {len(ring['members'])} shard(s) [{members}] "
+        f"vnodes={ring['vnodes']}"
+    )
+    inflight = router["inflight"]
+    total_inflight = (
+        sum(inflight.values()) if isinstance(inflight, dict) else inflight
+    )
+    parked = router["parked"]
+    parked_n = len(parked) if isinstance(parked, list) else parked
+    print(
+        f"  router: inflight {total_inflight} "
+        f"(cap {router['max_inflight']}/shard), parked {parked_n}, "
+        f"rejected {router['rejected']}, drains {router['drains']}"
+    )
+    print(
+        f"  totals: {totals['store_entries']} stored entries, "
+        f"{totals['simulations']} simulations, {totals['active']} active"
+    )
+    for sid, sdoc in sorted(doc["shards"].items()):
+        if not sdoc:
+            print(f"  {sid}: UNREACHABLE")
+            continue
+        admission = sdoc["admission"]
+        store = sdoc.get("store") or {}
+        print(
+            f"  {sid}: {store.get('entries', 0)} entries, "
+            f"active {admission['active']}/{admission['max_queue']}, "
+            f"simulations {sdoc['backend']['simulations']}"
+        )
+    return 0
+
+
+def _cmd_shard_drain(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        doc = client.admin_drain(args.shard)
+    except (ServeError, OSError) as exc:
+        return _fail(f"{args.url}: {exc}")
+    finally:
+        client.close()
+    if args.json:
+        print(json_mod.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    members = ", ".join(doc.get("members", [])) or "(none)"
+    print(
+        f"drained {doc.get('shard')}: moved {doc.get('moved_entries', 0)} "
+        f"warm entr{'y' if doc.get('moved_entries') == 1 else 'ies'}; "
+        f"remaining members [{members}]"
+    )
     return 0
 
 
@@ -1285,7 +1433,158 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help="supply the correlation id instead of letting the server generate one",
     )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="on 429/503 honor Retry-After and retry up to N times with "
+        "capped jittered exponential backoff (default: 0 = fail fast)",
+    )
     p.set_defaults(func=_cmd_request)
+
+    shard = sub.add_parser(
+        "shard",
+        help="consistent-hash sharded serving tier (router + N workers)",
+    )
+    shsub = shard.add_subparsers(
+        dest="shard_command", required=True, metavar="action"
+    )
+
+    p = shsub.add_parser(
+        "serve",
+        parents=[log_parent, scale_parent, exec_parent, engine_parent],
+        help="run a local cluster: N shard workers behind one router",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        metavar="N",
+        help="number of shard workers to spawn (default: 3)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="router bind address")
+    p.add_argument(
+        "--port", type=int, default=8080, help="router bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-worker admitted requests before 429 (default: 64)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="router-side in-flight requests per shard before 429 (default: 64)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-worker micro-batch size (default: 8)",
+    )
+    p.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="per-worker max wait to fill a micro-batch (default: 5 ms)",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="per-request timeout in seconds (default: 300)",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable router span tracing (per-request trees on /debugz)",
+    )
+    p.add_argument(
+        "--span-log",
+        default="",
+        metavar="PATH",
+        help="also append finished router spans as JSONL here (implies --trace)",
+    )
+    p.add_argument(
+        "--span-ring",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="in-memory span ring capacity (default: 4096)",
+    )
+    p.set_defaults(func=_cmd_shard_serve)
+
+    p = shsub.add_parser(
+        "worker",
+        parents=[log_parent, scale_parent, engine_parent],
+        help="run one shard worker over its store partition (internal: "
+        "spawned by 'shard serve')",
+    )
+    p.add_argument("--shard-id", required=True, help="ring member id (shard-<n>)")
+    p.add_argument(
+        "--root", required=True, metavar="DIR", help="cluster partition root"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool workers for this shard (0/1 = serial)",
+    )
+    p.add_argument("--max-queue", type=int, default=64, metavar="N")
+    p.add_argument("--max-batch", type=int, default=8, metavar="N")
+    p.add_argument("--batch-wait-ms", type=float, default=5.0, metavar="MS")
+    p.add_argument("--request-timeout", type=float, default=300.0, metavar="S")
+    p.add_argument("--cache-max-bytes", type=int, default=None, metavar="N")
+    p.set_defaults(func=_cmd_shard_worker)
+
+    p = shsub.add_parser(
+        "status",
+        parents=[log_parent],
+        help="cluster-wide status from a running router",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="router base URL"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, help="client timeout in seconds"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the raw status document"
+    )
+    p.set_defaults(func=_cmd_shard_status)
+
+    p = shsub.add_parser(
+        "drain",
+        parents=[log_parent],
+        help="gracefully remove one shard: park, stop, rebalance, reroute",
+    )
+    p.add_argument("--shard", required=True, help="member to drain (shard-<n>)")
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="router base URL"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="client timeout in seconds (drain waits out in-flight work)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the raw drain document"
+    )
+    p.set_defaults(func=_cmd_shard_drain)
 
     cache = sub.add_parser(
         "cache", help="inspect and maintain the on-disk result store"

@@ -159,6 +159,17 @@ class ResultStore:
             if shard.is_dir() and len(shard.name) == 2:
                 yield from sorted(shard.glob("*.json"))
 
+    def entries(self) -> Iterator[tuple[str, pathlib.Path]]:
+        """Every stored entry as ``(digest, path)``, digest-sorted.
+
+        The enumeration surface the shard tier's partition rebalancer
+        walks: entry files are self-contained (checksummed payload +
+        key identity), so re-homing one to another partition is a bare
+        file move.
+        """
+        for path in self._entry_paths():
+            yield path.stem, path
+
     def __len__(self) -> int:
         return sum(1 for _ in self._entry_paths())
 

@@ -41,13 +41,19 @@ from repro.serve.client import (
     ServeResponse,
 )
 from repro.serve.coalesce import Coalescer, Submitted
+from repro.serve.http import SHARD_HEADER, AsyncHttpServer, HttpRequest
 from repro.serve.protocol import (
     ERROR_STATUS,
+    MAX_BATCH_ITEMS,
     PROTOCOL_VERSION,
     MappingRequest,
     ProtocolError,
+    apply_default_scale,
+    batch_request_doc,
+    batch_response_doc,
     encode_doc,
     error_doc,
+    parse_batch_request,
     parse_request,
     request_doc,
     response_doc,
@@ -57,15 +63,23 @@ from repro.serve.server import SERVE_COUNTERS, MappingServer
 __all__ = [
     "PROTOCOL_VERSION",
     "ERROR_STATUS",
+    "MAX_BATCH_ITEMS",
     "ProtocolError",
     "MappingRequest",
+    "apply_default_scale",
     "parse_request",
+    "parse_batch_request",
     "request_doc",
+    "batch_request_doc",
+    "batch_response_doc",
     "response_doc",
     "error_doc",
     "encode_doc",
     "Coalescer",
     "Submitted",
+    "AsyncHttpServer",
+    "HttpRequest",
+    "SHARD_HEADER",
     "MappingServer",
     "SERVE_COUNTERS",
     "ServeClient",

@@ -5,11 +5,20 @@ Stdlib-only: the sync :class:`ServeClient` rides :mod:`http.client`
 :class:`AsyncServeClient` speaks the same minimal HTTP/1.1 over asyncio
 streams.  Both return :class:`ServeResponse` — the decoded response
 document plus the per-request headers the server keeps *out* of the
-body (source, batch size, digest) — and raise :class:`ServeError`
-carrying the service's typed error code for non-2xx answers.
+body (source, batch size, digest, answering shard) — and raise
+:class:`ServeError` carrying the service's typed error code for
+non-2xx answers.
 
-Used by the ``repro request`` CLI, the serve tests, the CI smoke job
-and ``benchmarks/bench_serve.py``.
+Backpressure is a client concern too: ``retries=N`` (opt-in, default
+off) makes ``experiment()``/``batch()`` honor the server's
+``Retry-After`` on 429/503 with capped, jittered exponential backoff
+instead of surfacing the error — the polite way to ride out a
+saturated or draining shard.  The same clients talk to a single
+``repro serve`` and to a shard cluster's router; the protocol is
+identical by construction.
+
+Used by the ``repro request`` CLI, the serve/shard tests, the CI smoke
+jobs and ``benchmarks/bench_serve.py`` / ``bench_shard.py``.
 """
 
 from __future__ import annotations
@@ -17,17 +26,39 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
+import time
 import urllib.parse
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.serve.protocol import (
     ERROR_RECORD,
+    batch_request_doc,
     encode_doc,
     request_doc,
 )
 
 __all__ = ["ServeError", "ServeResponse", "ServeClient", "AsyncServeClient"]
+
+#: Ceiling on a single backoff sleep (seconds).
+MAX_BACKOFF_S = 30.0
+
+
+def _retryable(exc: "ServeError") -> bool:
+    """Overload (429) and drain (503) answers carrying Retry-After."""
+    return exc.http_status in (429, 503) and exc.retry_after_s is not None
+
+
+def _backoff_s(attempt: int, retry_after_s: float | None, cap: float) -> float:
+    """Capped, jittered exponential backoff seeded by ``Retry-After``.
+
+    The server's hint is the *base*; each retry doubles it, the cap
+    bounds it, and the 50–100% jitter de-synchronises the thundering
+    herd a 429 storm would otherwise re-create on the retry boundary.
+    """
+    base = max(float(retry_after_s or 1.0), 0.05)
+    return min(cap, base * (2.0 ** attempt)) * random.uniform(0.5, 1.0)
 
 
 class ServeError(Exception):
@@ -40,6 +71,7 @@ class ServeError(Exception):
         http_status: int = 0,
         retry_after_s: float | None = None,
         request_id: str = "",
+        shard: str = "",
     ):
         super().__init__(f"{code}: {message}")
         self.code = code
@@ -49,6 +81,8 @@ class ServeError(Exception):
         #: Correlation id — the server stamps X-Repro-Request-Id on
         #: error responses too, so failures are traceable.
         self.request_id = request_id
+        #: X-Repro-Shard header — which member (or "router") answered.
+        self.shard = shard
 
 
 @dataclass(frozen=True)
@@ -61,19 +95,29 @@ class ServeResponse:
     body: bytes
     #: "simulated" | "coalesced" | "cache" (X-Repro-Source header).
     source: str = ""
+    #: Per-item sources of a batch answer (X-Repro-Sources header).
+    sources: tuple[str, ...] = ()
     batch_size: int = 0
     digest: str = ""
     #: X-Repro-Request-Id header — the trace id of this request's span
     #: tree on the server.
     request_id: str = ""
+    #: X-Repro-Shard header — which member (or "router") answered.
+    shard: str = ""
 
     @property
     def result(self) -> dict[str, Any]:
         return self.doc.get("result", {})
 
+    @property
+    def items(self) -> list[dict[str, Any]]:
+        """Per-item documents of a batch answer (empty for singles)."""
+        return self.doc.get("items", [])
+
 
 def _raise_for_error(status: int, body: bytes, headers: Mapping[str, str]):
     request_id = headers.get("x-repro-request-id", "")
+    shard = headers.get("x-repro-shard", "")
     try:
         doc = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, ValueError):
@@ -87,12 +131,14 @@ def _raise_for_error(status: int, body: bytes, headers: Mapping[str, str]):
             http_status=status,
             retry_after_s=retry,
             request_id=request_id,
+            shard=shard,
         )
     raise ServeError(
         "internal",
         f"HTTP {status}: {body[:200]!r}",
         http_status=status,
         request_id=request_id,
+        shard=shard,
     )
 
 
@@ -110,9 +156,13 @@ def _build_response(
         status=status,
         body=body,
         source=headers.get("x-repro-source", ""),
+        sources=tuple(
+            s for s in headers.get("x-repro-sources", "").split(",") if s
+        ),
         batch_size=int(headers.get("x-repro-batch-size") or 0),
         digest=headers.get("x-repro-digest", ""),
         request_id=headers.get("x-repro-request-id", ""),
+        shard=headers.get("x-repro-shard", ""),
     )
 
 
@@ -182,6 +232,24 @@ class ServeClient:
             {k.lower(): v for k, v in resp.getheaders()},
         )
 
+    def _post_with_retries(
+        self,
+        path: str,
+        body: bytes,
+        extra: Mapping[str, str] | None,
+        retries: int,
+        max_backoff_s: float,
+    ) -> ServeResponse:
+        attempt = 0
+        while True:
+            try:
+                return _build_response(*self._request("POST", path, body, extra))
+            except ServeError as exc:
+                if attempt >= retries or not _retryable(exc):
+                    raise
+                time.sleep(_backoff_s(attempt, exc.retry_after_s, max_backoff_s))
+                attempt += 1
+
     def experiment(
         self,
         workload: str = "",
@@ -191,14 +259,41 @@ class ServeClient:
         engine: Mapping[str, Any] | None = None,
         scenario: str | Mapping[str, Any] | None = None,
         request_id: str = "",
+        retries: int = 0,
+        max_backoff_s: float = MAX_BACKOFF_S,
     ) -> ServeResponse:
         body = encode_doc(
             request_doc(workload, version, scale, config, engine, scenario)
         )
         extra = {"X-Repro-Request-Id": request_id} if request_id else None
-        return _build_response(
-            *self._request("POST", "/v1/experiment", body, extra)
+        return self._post_with_retries(
+            "/v1/experiment", body, extra, retries, max_backoff_s
         )
+
+    def batch(
+        self,
+        requests: Sequence[Mapping[str, Any]],
+        request_id: str = "",
+        retries: int = 0,
+        max_backoff_s: float = MAX_BACKOFF_S,
+    ) -> ServeResponse:
+        """POST /v1/batch.  Each item is ``experiment()`` kwargs."""
+        body = encode_doc(
+            batch_request_doc([request_doc(**item) for item in requests])
+        )
+        extra = {"X-Repro-Request-Id": request_id} if request_id else None
+        return self._post_with_retries(
+            "/v1/batch", body, extra, retries, max_backoff_s
+        )
+
+    def admin_drain(self, shard: str) -> dict[str, Any]:
+        """POST /admin/drain — remove one member from a shard cluster."""
+        status, body, headers = self._request(
+            "POST", "/admin/drain", encode_doc({"shard": shard})
+        )
+        if status >= 400:
+            _raise_for_error(status, body, headers)
+        return json.loads(body)
 
     def debugz(self) -> dict[str, Any]:
         status, body, headers = self._request("GET", "/debugz")
@@ -281,6 +376,28 @@ class AsyncServeClient:
         length = int(headers.get("content-length") or len(rest))
         return status, rest[:length], headers
 
+    async def _post_with_retries(
+        self,
+        path: str,
+        body: bytes,
+        extra: Mapping[str, str] | None,
+        retries: int,
+        max_backoff_s: float,
+    ) -> ServeResponse:
+        attempt = 0
+        while True:
+            try:
+                return _build_response(
+                    *await self._request("POST", path, body, extra)
+                )
+            except ServeError as exc:
+                if attempt >= retries or not _retryable(exc):
+                    raise
+                await asyncio.sleep(
+                    _backoff_s(attempt, exc.retry_after_s, max_backoff_s)
+                )
+                attempt += 1
+
     async def experiment(
         self,
         workload: str = "",
@@ -290,13 +407,31 @@ class AsyncServeClient:
         engine: Mapping[str, Any] | None = None,
         scenario: str | Mapping[str, Any] | None = None,
         request_id: str = "",
+        retries: int = 0,
+        max_backoff_s: float = MAX_BACKOFF_S,
     ) -> ServeResponse:
         body = encode_doc(
             request_doc(workload, version, scale, config, engine, scenario)
         )
         extra = {"X-Repro-Request-Id": request_id} if request_id else None
-        return _build_response(
-            *await self._request("POST", "/v1/experiment", body, extra)
+        return await self._post_with_retries(
+            "/v1/experiment", body, extra, retries, max_backoff_s
+        )
+
+    async def batch(
+        self,
+        requests: Sequence[Mapping[str, Any]],
+        request_id: str = "",
+        retries: int = 0,
+        max_backoff_s: float = MAX_BACKOFF_S,
+    ) -> ServeResponse:
+        """POST /v1/batch.  Each item is ``experiment()`` kwargs."""
+        body = encode_doc(
+            batch_request_doc([request_doc(**item) for item in requests])
+        )
+        extra = {"X-Repro-Request-Id": request_id} if request_id else None
+        return await self._post_with_retries(
+            "/v1/batch", body, extra, retries, max_backoff_s
         )
 
     async def debugz(self) -> dict[str, Any]:

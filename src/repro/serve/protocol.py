@@ -27,7 +27,7 @@ stable machine-readable ``code`` drawn from :data:`ERROR_STATUS`.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.exec.keys import ExperimentKey, experiment_key
@@ -37,11 +37,18 @@ __all__ = [
     "REQUEST_RECORD",
     "RESPONSE_RECORD",
     "ERROR_RECORD",
+    "BATCH_REQUEST_RECORD",
+    "BATCH_RESPONSE_RECORD",
+    "MAX_BATCH_ITEMS",
     "ERROR_STATUS",
     "ProtocolError",
     "MappingRequest",
+    "apply_default_scale",
     "parse_request",
+    "parse_batch_request",
     "request_doc",
+    "batch_request_doc",
+    "batch_response_doc",
     "response_doc",
     "error_doc",
     "encode_doc",
@@ -49,11 +56,21 @@ __all__ = [
 
 #: Bump when the request/response layout changes; servers reject newer.
 #: v2: optional ``scenario`` request field (name or inline spec).
-PROTOCOL_VERSION = 2
+#: v3: batch documents (``/v1/batch`` — several requests, answered
+#: item by item in order), served directly and fanned out per shard by
+#: the :mod:`repro.shard` router.
+PROTOCOL_VERSION = 3
 
 REQUEST_RECORD = "repro-serve-request"
 RESPONSE_RECORD = "repro-serve-response"
 ERROR_RECORD = "repro-serve-error"
+BATCH_REQUEST_RECORD = "repro-serve-batch-request"
+BATCH_RESPONSE_RECORD = "repro-serve-batch-response"
+
+#: Hard cap on requests per batch document — a fairness bound, not a
+#: framing one (the body-size limit would allow far more): one giant
+#: batch must not monopolise a worker's admission queue.
+MAX_BATCH_ITEMS = 256
 
 #: Typed error codes and the HTTP status each maps to.
 ERROR_STATUS = {
@@ -68,6 +85,7 @@ ERROR_STATUS = {
     "payload_too_large": 413,
     "overloaded": 429,
     "internal": 500,
+    "bad_gateway": 502,
     "draining": 503,
     "timeout": 504,
 }
@@ -171,6 +189,21 @@ class MappingRequest:
         )
 
 
+def apply_default_scale(
+    mapping: MappingRequest, default_scale: int
+) -> MappingRequest:
+    """Resolve a server-side default scale into the request.
+
+    A request naming neither a config nor a scale means "the server's
+    default"; folding that in *before* the key is computed is what
+    keeps the router's routing key and the worker's execution key the
+    same object (both sides run this with the same ``default_scale``).
+    """
+    if mapping.config is None and mapping.scale == 0 and default_scale:
+        return replace(mapping, scale=default_scale)
+    return mapping
+
+
 def _bad(message: str) -> ProtocolError:
     return ProtocolError("bad_request", message)
 
@@ -198,20 +231,68 @@ def _parse_scenario(ref: Any):
     raise _bad("scenario must be a registered name or a spec object")
 
 
-def parse_request(body: bytes) -> MappingRequest:
-    """Parse and validate one request body; raises :class:`ProtocolError`."""
-    from repro.simulator.runner import VERSIONS
-    from repro.util.fingerprint import config_from_fingerprint
-    from repro.workloads.suite import workload_names
-
+def _decode_body(body: bytes) -> dict[str, Any]:
     try:
         doc = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, ValueError):
         raise ProtocolError("bad_json", "request body is not valid JSON") from None
     if not isinstance(doc, dict):
         raise _bad("request must be a JSON object")
+    return doc
+
+
+def parse_request(body: bytes) -> MappingRequest:
+    """Parse and validate one request body; raises :class:`ProtocolError`."""
+    doc = _decode_body(body)
     if doc.get("record") != REQUEST_RECORD:
         raise _bad(f"record must be {REQUEST_RECORD!r}")
+    return _parse_request_doc(doc)
+
+
+def parse_batch_request(body: bytes) -> list[MappingRequest]:
+    """Parse and validate one batch body into its per-item requests.
+
+    Validation is all-or-nothing — a malformed item fails the whole
+    batch with a message naming its index (execution failures, by
+    contrast, travel in-band as per-item error documents).
+    """
+    doc = _decode_body(body)
+    if doc.get("record") != BATCH_REQUEST_RECORD:
+        raise _bad(f"record must be {BATCH_REQUEST_RECORD!r}")
+    version = doc.get("protocol_version")
+    if not isinstance(version, int):
+        raise _bad("protocol_version must be an integer")
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported_protocol",
+            f"protocol v{version} is newer than this server's "
+            f"v{PROTOCOL_VERSION}",
+        )
+    requests = doc.get("requests")
+    if not isinstance(requests, list) or not requests:
+        raise _bad("requests must be a non-empty array")
+    if len(requests) > MAX_BATCH_ITEMS:
+        raise _bad(
+            f"batch has {len(requests)} requests (limit {MAX_BATCH_ITEMS})"
+        )
+    mappings = []
+    for index, item in enumerate(requests):
+        if not isinstance(item, dict) or item.get("record") != REQUEST_RECORD:
+            raise _bad(f"requests[{index}] must be a {REQUEST_RECORD!r} object")
+        try:
+            mappings.append(_parse_request_doc(item))
+        except ProtocolError as exc:
+            raise ProtocolError(
+                exc.code, f"requests[{index}]: {exc.message}", exc.retry_after_s
+            ) from None
+    return mappings
+
+
+def _parse_request_doc(doc: dict[str, Any]) -> MappingRequest:
+    from repro.simulator.runner import VERSIONS
+    from repro.util.fingerprint import config_from_fingerprint
+    from repro.workloads.suite import workload_names
+
     version = doc.get("protocol_version")
     if not isinstance(version, int):
         raise _bad("protocol_version must be an integer")
@@ -289,6 +370,28 @@ def request_doc(
             scenario if isinstance(scenario, str) else dict(scenario)
         )
     return doc
+
+
+def batch_request_doc(requests: list[dict[str, Any]]) -> dict[str, Any]:
+    """Wrap request documents (see :func:`request_doc`) into one batch body."""
+    return {
+        "record": BATCH_REQUEST_RECORD,
+        "protocol_version": PROTOCOL_VERSION,
+        "requests": list(requests),
+    }
+
+
+def batch_response_doc(items: list[dict[str, Any]]) -> dict[str, Any]:
+    """The batch answer: response/error documents in request order.
+
+    Each item is self-describing (``record`` distinguishes a result
+    from a typed error), so clients handle partial failure per item.
+    """
+    return {
+        "record": BATCH_RESPONSE_RECORD,
+        "protocol_version": PROTOCOL_VERSION,
+        "items": list(items),
+    }
 
 
 def response_doc(key: ExperimentKey, result: dict[str, Any]) -> dict[str, Any]:

@@ -1,16 +1,22 @@
 """The asyncio HTTP front end: admission, backpressure, drain, ops.
 
-A deliberately small HTTP/1.1 implementation over ``asyncio`` streams
-(stdlib-only; ``http.server`` is thread-per-request and can't share the
-coalescer's event-loop state).  Endpoints:
+The HTTP/1.1 plumbing itself lives in :class:`~repro.serve.http.AsyncHttpServer`
+(shared with the shard router); this module is the mapping *application*:
 
 * ``POST /v1/experiment`` — run/fetch one experiment
   (:mod:`repro.serve.protocol` request/response documents);
+* ``POST /v1/batch`` — protocol v3 batch: several experiment requests
+  in one round trip, answered item by item in order (each item is a
+  complete response/error document — per-item failures never fail the
+  batch);
 * ``GET /healthz`` — liveness (``ok`` / ``draining``);
 * ``GET /statusz`` — JSON operational state: admission queue, coalescer
   depth, store stats, backend health (``exec.retries`` /
   ``exec.timeouts`` / failures straight from the telemetry registry);
-* ``GET /metrics`` — Prometheus text exposition of the live registry.
+* ``GET /metrics`` — Prometheus text exposition of the live registry;
+* ``GET /metricsz`` — the same registry as a mergeable JSON snapshot
+  (:meth:`~repro.telemetry.MetricsRegistry.as_dict`), what the shard
+  router aggregates cluster-wide.
 
 Backpressure is explicit: ``max_queue`` bounds the experiment requests
 admitted concurrently (queued + batching + simulating), and the
@@ -21,31 +27,28 @@ saturated server how saturated it is.
 
 Shutdown is a drain, not a drop: SIGINT/SIGTERM stop the listener and
 new experiment admissions (``503 draining``), in-flight requests finish
-and flush to the store, then the process exits 0.
+and flush to the store, then the process exits 0.  When the server runs
+as a shard worker (``shard_id`` set) every response also carries the
+``X-Repro-Shard`` attribution header.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
-import signal
-import threading
 import time
-from contextvars import ContextVar
 
-from repro.obs.context import (
-    REQUEST_ID_HEADER,
-    new_request_id,
-    sanitize_request_id,
-)
-from repro.obs.slo import slo_report
-from repro.obs.tracer import get_tracer, span, use_tracer
+from repro.obs.tracer import span, use_tracer
 from repro.serve.coalesce import Coalescer
+from repro.serve.http import AsyncHttpServer, HttpRequest, current_request_id
 from repro.serve.protocol import (
+    BATCH_RESPONSE_RECORD,
     PROTOCOL_VERSION,
     ProtocolError,
+    apply_default_scale,
     encode_doc,
     error_doc,
+    parse_batch_request,
     parse_request,
     response_doc,
 )
@@ -56,18 +59,6 @@ __all__ = ["SERVE_COUNTERS", "MappingServer"]
 
 _LOG = get_logger("serve.server")
 
-_STATUS_TEXT = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
-
 #: Serve-side counters, pre-registered at zero like the pipeline's.
 SERVE_COUNTERS = (
     "serve.requests",
@@ -77,29 +68,8 @@ SERVE_COUNTERS = (
     "serve.batches",
 )
 
-_MAX_BODY_BYTES = 8 * 1024 * 1024
-_MAX_HEADER_LINES = 100
 
-#: The request id of the HTTP request being dispatched on this task.
-#: Context-local so interleaved keep-alive connections never cross ids;
-#: read by ``_respond`` so *every* response — success, typed error, 429
-#: backpressure, even a malformed-framing reply that never produced a
-#: request object — carries a correlation header.
-_REQUEST_ID: ContextVar[str] = ContextVar("repro_serve_request_id", default="")
-
-
-class _HttpRequest:
-    __slots__ = ("method", "target", "headers", "body", "keep_alive")
-
-    def __init__(self, method, target, headers, body, keep_alive):
-        self.method = method
-        self.target = target
-        self.headers = headers
-        self.body = body
-        self.keep_alive = keep_alive
-
-
-class MappingServer:
+class MappingServer(AsyncHttpServer):
     """Long-lived mapping-as-a-service front end over one event loop.
 
     ``executor``/``store`` are the exec backend (defaults: serial
@@ -130,11 +100,13 @@ class MappingServer:
         request_timeout_s: float = 300.0,
         drain_grace_s: float = 30.0,
         default_scale: int = 0,
+        shard_id: str = "",
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
-        self.host = host
-        self.port = port
+        super().__init__(
+            host=host, port=port, drain_grace_s=drain_grace_s, shard_id=shard_id
+        )
         self.registry = registry
         #: Live :class:`~repro.obs.tracer.Tracer` installed process-wide
         #: for the server's lifetime (``None`` = tracing off, the
@@ -142,7 +114,6 @@ class MappingServer:
         self.tracer = tracer
         self.max_queue = max_queue
         self.request_timeout_s = request_timeout_s
-        self.drain_grace_s = drain_grace_s
         self.default_scale = default_scale
         self.coalescer = Coalescer(
             executor=executor,
@@ -150,15 +121,7 @@ class MappingServer:
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
         )
-        #: Set once the listener is bound (``port`` is then the real one).
-        self.ready = threading.Event()
         self._active = 0
-        self._busy = 0
-        self._draining = False
-        self._started_monotonic = 0.0
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._stop: asyncio.Event | None = None
-        self._connections: set[asyncio.Task] = set()
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -169,228 +132,49 @@ class MappingServer:
                 stack.enter_context(use_registry(self.registry))
             if self.tracer is not None:
                 stack.enter_context(use_tracer(self.tracer))
-            return asyncio.run(self._serve(install_signals))
+            return super().serve_forever(install_signals)
 
-    def request_shutdown(self) -> None:
-        """Begin a graceful drain; thread-safe, callable from anywhere."""
-        loop, stop = self._loop, self._stop
-        if loop is not None and stop is not None:
-            loop.call_soon_threadsafe(stop.set)
-
-    async def _serve(self, install_signals: bool) -> int:
-        self._loop = asyncio.get_running_loop()
-        self._stop = asyncio.Event()
-        self._started_monotonic = time.monotonic()
+    async def _startup(self) -> None:
         for name in SERVE_COUNTERS:
             get_registry().counter(name)
         self.coalescer.start()
-        server = await asyncio.start_server(self._on_connection, self.host, self.port)
-        self.port = server.sockets[0].getsockname()[1]
-        if install_signals:
-            self._install_signal_handlers()
-        _LOG.info(
-            "serving on %s:%d (max_queue=%d, batch=%d/%.0fms, backend=%r)",
-            self.host,
-            self.port,
-            self.max_queue,
-            self.coalescer.max_batch,
-            self.coalescer.max_wait_s * 1000,
-            self.coalescer.executor,
-        )
-        self.ready.set()
-        await self._stop.wait()
-        self._draining = True
-        _LOG.info(
-            "draining: %d active request(s), %d in flight",
-            self._active,
-            self.coalescer.inflight,
-        )
-        server.close()
-        await server.wait_closed()
-        await self._drain_connections()
+
+    async def _shutdown(self) -> None:
+        _LOG.info("draining backend: %d in flight", self.coalescer.inflight)
         await self.coalescer.close()
-        _LOG.info("drained; exiting")
-        return 0
 
-    def _install_signal_handlers(self) -> None:
-        assert self._loop is not None and self._stop is not None
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                self._loop.add_signal_handler(sig, self._stop.set)
-            except (NotImplementedError, RuntimeError, ValueError):
-                # Non-main thread or platforms without loop signal
-                # support: shutdown then comes via request_shutdown().
-                return
-
-    async def _drain_connections(self) -> None:
-        """Let in-flight *requests* finish, then cut idle connections.
-
-        Waiting on busy dispatches (bounded by ``drain_grace_s``) is the
-        drain guarantee; connections merely parked between keep-alive
-        requests are cancelled immediately — they hold no work.
-        """
-        deadline = time.monotonic() + self.drain_grace_s
-        while self._busy and time.monotonic() < deadline:
-            await asyncio.sleep(0.01)
-        for task in list(self._connections):
-            task.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
-
-    # -- http plumbing ------------------------------------------------------------
-
-    async def _on_connection(self, reader, writer) -> None:
-        task = asyncio.current_task()
-        assert task is not None
-        self._connections.add(task)
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except ProtocolError as exc:
-                    # Malformed framing: answer if we can, then hang up
-                    # (the stream position is no longer trustworthy).
-                    await self._respond_error(writer, exc, keep_alive=False)
-                    break
-                if request is None:
-                    break
-                self._busy += 1
-                try:
-                    await self._dispatch(request, writer)
-                finally:
-                    self._busy -= 1
-                # Draining closes keep-alive sessions after the response
-                # in flight — the client re-connects elsewhere.
-                if not request.keep_alive or self._draining:
-                    break
-        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
-            pass
-        except asyncio.CancelledError:
-            raise
-        except Exception:  # noqa: BLE001 - one bad connection never kills the server
-            _LOG.exception("connection handler failed")
-        finally:
-            self._connections.discard(task)
-            with contextlib.suppress(Exception):
-                writer.close()
-                await writer.wait_closed()
-
-    async def _read_request(self, reader) -> _HttpRequest | None:
-        line = await reader.readline()
-        if not line:
-            return None
-        try:
-            method, target, http_version = line.decode("ascii").split()
-        except (UnicodeDecodeError, ValueError):
-            raise ProtocolError("bad_request", "malformed request line") from None
-        headers: dict[str, str] = {}
-        for _ in range(_MAX_HEADER_LINES):
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            raise ProtocolError("bad_request", "too many headers")
-        try:
-            length = int(headers.get("content-length") or 0)
-        except ValueError:
-            raise ProtocolError("bad_request", "bad Content-Length") from None
-        if length < 0:
-            raise ProtocolError("bad_request", "bad Content-Length")
-        if length > _MAX_BODY_BYTES:
-            raise ProtocolError(
-                "payload_too_large", f"body exceeds {_MAX_BODY_BYTES} bytes"
-            )
-        body = await reader.readexactly(length) if length else b""
-        keep_alive = (
-            headers.get("connection", "keep-alive").lower() != "close"
-            and http_version.upper() != "HTTP/1.0"
-        )
-        return _HttpRequest(method.upper(), target, headers, body, keep_alive)
-
-    async def _respond(
-        self,
-        writer,
-        status: int,
-        body: bytes,
-        content_type: str = "application/json",
-        extra_headers: dict[str, str] | None = None,
-        keep_alive: bool = True,
-    ) -> None:
-        reason = _STATUS_TEXT.get(status, "Unknown")
-        # Fresh id for replies that never reached _dispatch (e.g.
-        # malformed framing) — every response correlates to *something*.
-        request_id = _REQUEST_ID.get() or new_request_id()
-        head = [
-            f"HTTP/1.1 {status} {reason}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            f"X-Repro-Protocol: {PROTOCOL_VERSION}",
-            f"{REQUEST_ID_HEADER}: {request_id}",
-            f"Connection: {'keep-alive' if keep_alive and not self._draining else 'close'}",
-        ]
-        for name, value in (extra_headers or {}).items():
-            head.append(f"{name}: {value}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
-        await writer.drain()
-        get_registry().counter("serve.responses", code=str(status)).inc()
-
-    async def _respond_error(
-        self, writer, exc: ProtocolError, keep_alive: bool = True
-    ) -> None:
-        extra = {}
-        if exc.retry_after_s is not None:
-            extra["Retry-After"] = str(max(1, int(exc.retry_after_s)))
-        await self._respond(
-            writer,
-            exc.http_status,
-            encode_doc(error_doc(exc.code, exc.message, exc.retry_after_s)),
-            extra_headers=extra,
-            keep_alive=keep_alive,
+    def _describe(self) -> str:
+        return (
+            f"max_queue={self.max_queue}, "
+            f"batch={self.coalescer.max_batch}/"
+            f"{self.coalescer.max_wait_s * 1000:.0f}ms, "
+            f"backend={self.coalescer.executor!r}"
+            + (f", shard={self.shard_id}" if self.shard_id else "")
         )
 
     # -- routing ------------------------------------------------------------------
 
-    async def _dispatch(self, request: _HttpRequest, writer) -> None:
-        reg = get_registry()
-        path = request.target.split("?", 1)[0]
-        reg.counter("serve.requests", endpoint=path).inc()
-        # A client-supplied id (cross-system tracing) is echoed when
-        # well-formed; anything else gets a freshly generated one.
-        request_id = (
-            sanitize_request_id(request.headers.get(REQUEST_ID_HEADER.lower()))
-            or new_request_id()
-        )
-        token = _REQUEST_ID.set(request_id)
-        try:
-            if path == "/healthz":
-                await self._handle_healthz(request, writer)
-            elif path == "/statusz":
-                await self._handle_statusz(request, writer)
-            elif path == "/metrics":
-                await self._handle_metrics(request, writer)
-            elif path == "/debugz":
-                await self._handle_debugz(request, writer)
-            elif path == "/v1/experiment":
-                await self._handle_experiment(request, writer)
-            else:
-                raise ProtocolError("not_found", f"no such endpoint {path!r}")
-        except ProtocolError as exc:
-            await self._respond_error(writer, exc, keep_alive=request.keep_alive)
-        finally:
-            _REQUEST_ID.reset(token)
+    async def _route(self, path: str, request: HttpRequest, writer) -> None:
+        if path == "/healthz":
+            await self._handle_healthz(request, writer)
+        elif path == "/statusz":
+            await self._handle_statusz(request, writer)
+        elif path == "/metrics":
+            await self._handle_metrics(request, writer)
+        elif path == "/metricsz":
+            await self._handle_metricsz(request, writer)
+        elif path == "/debugz":
+            await self._handle_debugz(request, writer)
+        elif path == "/v1/experiment":
+            await self._handle_experiment(request, writer)
+        elif path == "/v1/batch":
+            await self._handle_batch(request, writer)
+        else:
+            raise ProtocolError("not_found", f"no such endpoint {path!r}")
 
-    def _require_method(self, request: _HttpRequest, method: str) -> None:
-        if request.method != method:
-            raise ProtocolError(
-                "method_not_allowed",
-                f"{request.target} takes {method}, not {request.method}",
-            )
-
-    async def _handle_healthz(self, request: _HttpRequest, writer) -> None:
+    async def _handle_healthz(self, request: HttpRequest, writer) -> None:
         self._require_method(request, "GET")
-        status = "draining" if self._draining else "ok"
+        status = "draining" if self.draining else "ok"
         await self._respond(
             writer,
             200,
@@ -398,7 +182,7 @@ class MappingServer:
             keep_alive=request.keep_alive,
         )
 
-    async def _handle_statusz(self, request: _HttpRequest, writer) -> None:
+    async def _handle_statusz(self, request: HttpRequest, writer) -> None:
         self._require_method(request, "GET")
         reg = get_registry()
 
@@ -409,8 +193,8 @@ class MappingServer:
         doc = {
             "record": "repro-serve-status",
             "protocol_version": PROTOCOL_VERSION,
-            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
-            "draining": self._draining,
+            "uptime_s": round(self.uptime_s, 3),
+            "draining": self.draining,
             "admission": {
                 "active": self._active,
                 "max_queue": self.max_queue,
@@ -432,11 +216,13 @@ class MappingServer:
                 "failures": count("exec.tasks.failed"),
             },
         }
+        if self.shard_id:
+            doc["shard"] = self.shard_id
         await self._respond(
             writer, 200, encode_doc(doc), keep_alive=request.keep_alive
         )
 
-    async def _handle_metrics(self, request: _HttpRequest, writer) -> None:
+    async def _handle_metrics(self, request: HttpRequest, writer) -> None:
         self._require_method(request, "GET")
         text = to_prometheus_text(get_registry())
         await self._respond(
@@ -447,108 +233,92 @@ class MappingServer:
             keep_alive=request.keep_alive,
         )
 
-    async def _handle_debugz(self, request: _HttpRequest, writer) -> None:
-        """Observability snapshot: recent spans, SLO breakdown, slowest.
+    # /metricsz and /debugz come from AsyncHttpServer (shared with the
+    # shard router — same snapshot shape, same tracer view).
 
-        Bypasses admission like the other ops endpoints — a saturated
-        server must still explain where its time goes.  With tracing
-        off (the default) it reports ``enabled: false`` and empty data.
-        """
-        self._require_method(request, "GET")
-        tracer = get_tracer()
-        spans = tracer.spans()
-        doc = {
-            "record": "repro-serve-debug",
-            "tracer": {
-                "enabled": bool(tracer.enabled),
-                "capacity": tracer.capacity,
-                "collected": len(spans),
-                "dropped": tracer.dropped,
-                "log_path": tracer.log_path,
-            },
-            "slo": slo_report(spans),
-            "recent": [s.as_dict() for s in spans[-50:]],
-        }
-        await self._respond(
-            writer, 200, encode_doc(doc), keep_alive=request.keep_alive
-        )
+    # -- the mapping endpoints ----------------------------------------------------
 
-    # -- the mapping endpoint -----------------------------------------------------
-
-    async def _handle_experiment(self, request: _HttpRequest, writer) -> None:
-        self._require_method(request, "POST")
-        if self._draining:
+    def _admit(self, n: int = 1) -> None:
+        """Reserve ``n`` admission slots or raise the typed rejection."""
+        if self.draining:
             raise ProtocolError(
                 "draining", "server is draining; retry elsewhere", retry_after_s=1.0
             )
-        if self._active >= self.max_queue:
+        if self._active + n > self.max_queue:
             get_registry().counter("serve.rejected").inc()
             raise ProtocolError(
                 "overloaded",
                 f"admission queue full ({self.max_queue} requests in flight)",
                 retry_after_s=1.0,
             )
-        mapping = parse_request(request.body)
-        if mapping.config is None and mapping.scale == 0 and self.default_scale:
-            mapping = type(mapping)(
-                workload=mapping.workload,
-                version=mapping.version,
-                scale=self.default_scale,
-                config=None,
-                engine=mapping.engine,
-                scenario=mapping.scenario,
-            )
+        self._active += n
+        get_registry().gauge("serve.queue_depth").set(self._active)
+
+    def _release(self, n: int = 1) -> None:
+        self._active -= n
+        get_registry().gauge("serve.queue_depth").set(self._active)
+
+    def _build_task(self, mapping):
+        mapping = apply_default_scale(mapping, self.default_scale)
         try:
-            task = mapping.to_task()
+            return mapping.to_task()
         except ProtocolError:
             raise
         except (ValueError, KeyError, OSError) as exc:
             # e.g. a scenario naming a trace file the server cannot read.
             raise ProtocolError("bad_request", f"cannot build task: {exc}") from exc
-        reg = get_registry()
-        self._active += 1
-        reg.gauge("serve.queue_depth").set(self._active)
-        start = time.perf_counter()
+
+    async def _submit(self, task):
+        """One admitted task through the coalescer; returns (submitted, source)."""
         try:
-            # The request's root span: its trace id IS the request id
-            # the response header carries, so a client can fetch its own
-            # tree from /debugz (or the span log) by that id.
-            with span(
-                "request.experiment",
-                trace_id=_REQUEST_ID.get() or None,
-                workload=task.workload,
-                version=task.version,
-                digest=task.key.digest[:12],
-            ) as root:
-                try:
-                    submitted = await asyncio.wait_for(
-                        self.coalescer.submit(task), self.request_timeout_s
-                    )
-                except asyncio.TimeoutError:
-                    raise ProtocolError(
-                        "timeout",
-                        f"request exceeded {self.request_timeout_s:.0f}s "
-                        f"(key {task.key.digest[:12]})",
-                    ) from None
-                except ProtocolError:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - typed for the wire
-                    _LOG.exception("backend failed for %r", task.key)
-                    raise ProtocolError(
-                        "internal", f"backend failed: {exc}"
-                    ) from exc
-                source = (
-                    "cache" if submitted.cached
-                    else "coalesced" if submitted.coalesced
-                    else "simulated"
-                )
-                root.set(source=source, batch_size=submitted.batch_size)
-        finally:
-            self._active -= 1
-            reg.gauge("serve.queue_depth").set(self._active)
-            reg.histogram("serve.request_seconds").observe(
-                time.perf_counter() - start
+            submitted = await asyncio.wait_for(
+                self.coalescer.submit(task), self.request_timeout_s
             )
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                "timeout",
+                f"request exceeded {self.request_timeout_s:.0f}s "
+                f"(key {task.key.digest[:12]})",
+            ) from None
+        except ProtocolError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - typed for the wire
+            _LOG.exception("backend failed for %r", task.key)
+            raise ProtocolError("internal", f"backend failed: {exc}") from exc
+        source = (
+            "cache" if submitted.cached
+            else "coalesced" if submitted.coalesced
+            else "simulated"
+        )
+        return submitted, source
+
+    async def _handle_experiment(self, request: HttpRequest, writer) -> None:
+        self._require_method(request, "POST")
+        # Saturation answers before the body is even parsed — rejection
+        # stays cheap exactly when the server can least afford work.
+        self._admit()
+        try:
+            task = self._build_task(parse_request(request.body))
+            start = time.perf_counter()
+            try:
+                # The request's root span: its trace id IS the request id
+                # the response header carries, so a client can fetch its
+                # own tree from /debugz (or the span log) by that id.
+                with span(
+                    "request.experiment",
+                    trace_id=current_request_id() or None,
+                    workload=task.workload,
+                    version=task.version,
+                    digest=task.key.digest[:12],
+                ) as root:
+                    submitted, source = await self._submit(task)
+                    root.set(source=source, batch_size=submitted.batch_size)
+            finally:
+                get_registry().histogram("serve.request_seconds").observe(
+                    time.perf_counter() - start
+                )
+        finally:
+            self._release()
         await self._respond(
             writer,
             200,
@@ -560,6 +330,60 @@ class MappingServer:
             },
             keep_alive=request.keep_alive,
         )
+
+    async def _handle_batch(self, request: HttpRequest, writer) -> None:
+        """Protocol v3 batch: all items admitted together, run concurrently.
+
+        Admission is all-or-nothing (a batch the queue cannot hold is a
+        clean 429, never a half-admitted batch); per-item failures come
+        back as typed error documents *inside* the batch response, in
+        request order, so one bad item never costs the rest.
+        """
+        self._require_method(request, "POST")
+        mappings = parse_batch_request(request.body)
+        self._admit(len(mappings))
+        start = time.perf_counter()
+        try:
+            with span(
+                "request.batch",
+                trace_id=current_request_id() or None,
+                size=len(mappings),
+            ):
+                items, sources = await self._run_batch_items(mappings)
+        finally:
+            self._release(len(mappings))
+            get_registry().histogram("serve.request_seconds").observe(
+                time.perf_counter() - start
+            )
+        doc = {
+            "record": BATCH_RESPONSE_RECORD,
+            "protocol_version": PROTOCOL_VERSION,
+            "items": items,
+        }
+        await self._respond(
+            writer,
+            200,
+            encode_doc(doc),
+            extra_headers={
+                "X-Repro-Batch-Size": str(len(mappings)),
+                "X-Repro-Sources": ",".join(sources),
+            },
+            keep_alive=request.keep_alive,
+        )
+
+    async def _run_batch_items(self, mappings):
+        """Each batch item through the single-request path, concurrently."""
+
+        async def run_one(mapping):
+            try:
+                task = self._build_task(mapping)
+                submitted, source = await self._submit(task)
+            except ProtocolError as exc:
+                return error_doc(exc.code, exc.message, exc.retry_after_s), "error"
+            return response_doc(task.key, submitted.result), source
+
+        results = await asyncio.gather(*(run_one(m) for m in mappings))
+        return [doc for doc, _ in results], [source for _, source in results]
 
     def __repr__(self) -> str:
         return (

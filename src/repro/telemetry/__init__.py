@@ -44,6 +44,7 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NullRegistry,
     get_registry,
+    label_snapshot,
     set_registry,
     thread_registry,
     use_registry,
@@ -57,6 +58,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "get_registry",
+    "label_snapshot",
     "set_registry",
     "use_registry",
     "thread_registry",

@@ -41,6 +41,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "get_registry",
+    "label_snapshot",
     "set_registry",
     "use_registry",
     "thread_registry",
@@ -389,6 +390,28 @@ class MetricsRegistry:
             f"MetricsRegistry({len(self._counters)} counters, "
             f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
         )
+
+
+def label_snapshot(
+    snapshot: dict[str, list[dict[str, Any]]], **labels: str
+) -> dict[str, list[dict[str, Any]]]:
+    """A copy of an :meth:`MetricsRegistry.as_dict` snapshot, relabelled.
+
+    Merges ``labels`` into every entry's label set (entry-level labels
+    win on collision, so a series that already carries the label keeps
+    it).  This is how the shard router turns N per-worker snapshots
+    into one cluster registry: label each with ``shard=<id>``, then
+    :meth:`~MetricsRegistry.merge_snapshot` them all — same-named
+    series stay distinct per shard, histograms still compose.
+    """
+    str_labels = {k: str(v) for k, v in labels.items()}
+    return {
+        section: [
+            {**entry, "labels": {**str_labels, **entry.get("labels", {})}}
+            for entry in entries
+        ]
+        for section, entries in snapshot.items()
+    }
 
 
 class NullRegistry:

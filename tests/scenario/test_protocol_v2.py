@@ -22,8 +22,13 @@ def _parse(**kwargs) -> bytes:
 
 
 class TestScenarioRequests:
-    def test_protocol_version_is_two(self):
-        assert PROTOCOL_VERSION == 2
+    def test_protocol_version_accepts_v2_bodies(self):
+        """v3 (batch) still parses the v2 scenario-bearing shape."""
+        assert PROTOCOL_VERSION == 3
+        doc = request_doc(scenario="zipf-hot", scale=8)
+        doc["protocol_version"] = 2
+        req = parse_request(json.dumps(doc).encode())
+        assert req.scenario == "zipf-hot"
 
     def test_scenario_by_name(self):
         req = _parse(scenario="zipf-hot", scale=8)

@@ -1,0 +1,184 @@
+"""Subprocess lifecycle tests: the real ``repro shard serve`` cluster.
+
+These drive the shipped deployment shape — router + N worker
+*processes* — end to end: a mid-load drain of one shard loses no
+requests, and resizing a cluster over the same store root answers
+every warm key from cache, byte-identical, with zero re-simulations.
+Marked slow: each cluster spawns N+1 Python processes.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(os.name != "posix", reason="POSIX signals required"),
+]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+KEYS = [
+    ("hf", "inter"),
+    ("hf", "intra"),
+    ("sar", "inter"),
+    ("contour", "inter"),
+    ("astro", "original"),
+    ("sar", "inter+sched"),
+]
+
+
+def _free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _spawn_cluster(root, shards, port):
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "shard",
+            "serve",
+            "--shards",
+            str(shards),
+            "--port",
+            str(port),
+            "--scale",
+            "16",
+            "--cache",
+            str(root),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_healthy(url, proc, timeout_s=90.0):
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            with ServeClient(url, timeout=5.0) as c:
+                doc = c.health()
+            if doc.get("status") == "ok":
+                return
+        except (OSError, ServeError):
+            pass
+        assert proc.poll() is None, "cluster died during startup"
+        assert time.monotonic() < deadline, "cluster never became healthy"
+        time.sleep(0.1)
+
+
+def _shutdown(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            return proc.wait(timeout=90.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10.0)
+    return proc.returncode
+
+
+class TestDrainUnderLoad:
+    def test_drain_one_of_three_mid_load_loses_nothing(self, tmp_path):
+        port = _free_port()
+        proc = _spawn_cluster(tmp_path / "store", 3, port)
+        url = f"http://127.0.0.1:{port}"
+        outcomes = []
+
+        def fire(workload, version):
+            try:
+                with ServeClient(url, timeout=120.0) as c:
+                    resp = c.experiment(workload, version, retries=5)
+                    outcomes.append(resp.status)
+            except ServeError as exc:
+                outcomes.append(exc.code)
+
+        try:
+            _wait_healthy(url, proc)
+            threads = [
+                threading.Thread(target=fire, args=key, daemon=True)
+                for key in KEYS
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.15)  # let the load be genuinely in flight
+            with ServeClient(url, timeout=120.0) as c:
+                doc = c.admin_drain("shard-1")
+            assert doc["record"] == "repro-shard-drain"
+            assert doc["members"] == ["shard-0", "shard-2"]
+            for t in threads:
+                t.join(120.0)
+            assert len(outcomes) == len(KEYS)
+            assert all(o == 200 for o in outcomes), outcomes
+            # the cluster keeps serving afterwards, warm, off the
+            # remaining members only
+            with ServeClient(url, timeout=120.0) as c:
+                for workload, version in KEYS:
+                    resp = c.experiment(workload, version)
+                    assert resp.source == "cache", (workload, version)
+                    assert resp.shard in ("shard-0", "shard-2")
+                status = c.statusz()
+            assert status["ring"]["members"] == ["shard-0", "shard-2"]
+            assert status["router"]["drains"] == 1
+        finally:
+            rc = _shutdown(proc)
+        assert rc == 0, "cluster shutdown must drain and exit 0"
+
+
+class TestResizeWarmHandoff:
+    def test_resized_cluster_serves_warm_byte_identical(self, tmp_path):
+        root = tmp_path / "store"
+        # -- 1 shard: produce the canonical warm bodies -----------------------
+        port = _free_port()
+        proc = _spawn_cluster(root, 1, port)
+        url = f"http://127.0.0.1:{port}"
+        warm = {}
+        try:
+            _wait_healthy(url, proc)
+            with ServeClient(url, timeout=120.0) as c:
+                for workload, version in KEYS:
+                    c.experiment(workload, version)
+                for workload, version in KEYS:
+                    resp = c.experiment(workload, version)
+                    assert resp.source == "cache"
+                    warm[resp.digest] = resp.body
+        finally:
+            assert _shutdown(proc) == 0
+        assert len(warm) == len(KEYS)
+
+        # -- 3 shards over the same root: all warm, nothing re-simulated ------
+        port = _free_port()
+        proc = _spawn_cluster(root, 3, port)
+        url = f"http://127.0.0.1:{port}"
+        try:
+            _wait_healthy(url, proc)
+            with ServeClient(url, timeout=120.0) as c:
+                seen_shards = set()
+                for workload, version in KEYS:
+                    resp = c.experiment(workload, version)
+                    assert resp.source == "cache", (workload, version)
+                    assert resp.body == warm[resp.digest]
+                    seen_shards.add(resp.shard)
+                status = c.statusz()
+            assert len(seen_shards) > 1, "warm keys should spread across shards"
+            # zero re-simulations across the whole resized cluster
+            assert status["totals"]["simulations"] == 0
+            assert status["totals"]["store_entries"] == len(KEYS)
+        finally:
+            rc = _shutdown(proc)
+        assert rc == 0
